@@ -1,0 +1,51 @@
+// Extension — profile-guided prefetch (paper §7 future work: "build a
+// prefetching scheme based on previous experience with the access
+// pattern"). Boot the deployment once to record each chunk's first-access
+// order, then redeploy with a background prefetcher walking that profile
+// ahead of demand.
+#include <cstdio>
+
+#include "util/bench_util.hpp"
+
+namespace vmstorm {
+
+int run() {
+  bench::print_header("Extension", "profile-guided prefetch (§7 future work)");
+  const std::size_t n = bench::quick_mode() ? 8 : 32;
+  const auto tp = bench::paper_boot_params();
+
+  // Profiling run: plain lazy deployment; record instance 0's access order.
+  mirror::AccessProfile profile;
+  {
+    cloud::Cloud c(bench::paper_cloud_config(n), cloud::Strategy::kOurs);
+    c.multideploy(n, tp);
+    profile = c.access_profile_of(0).value();
+    std::fprintf(stderr, "  [prefetch] profile recorded: %zu chunks\n",
+                 profile.size());
+  }
+
+  Table t({"prefetch window", "avg boot (s)", "completion (s)",
+           "traffic/inst (MB)"});
+  for (std::size_t window : {0u, 4u, 16u, 64u}) {
+    auto cfg = bench::paper_cloud_config(n);
+    cfg.prefetch_window = window;
+    cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    if (window > 0) c.set_prefetch_profile(profile);
+    auto m = c.multideploy(n, tp);
+    t.add_row({window == 0 ? "off" : std::to_string(window),
+               Table::num(m.boot_seconds.mean(), 2),
+               Table::num(m.completion_seconds, 2),
+               Table::num(static_cast<double>(m.network_traffic) / 1e6 /
+                              static_cast<double>(n), 1)});
+    std::fprintf(stderr, "  [prefetch] window=%zu done\n", window);
+  }
+  t.print();
+  std::printf("\nWith the profile in hand, chunk transfers overlap the boot's\n"
+              "CPU bursts instead of stalling it: boot time approaches the\n"
+              "pre-propagation floor at (almost) lazy-transfer traffic.\n");
+  return 0;
+}
+
+}  // namespace vmstorm
+
+int main() { return vmstorm::run(); }

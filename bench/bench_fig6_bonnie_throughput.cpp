@@ -1,0 +1,91 @@
+// Figure 6 — Bonnie++ sustained throughput (§5.4): sequential block
+// write / read / overwrite in 8 KiB blocks on the filesystem inside the
+// image, REAL I/O on this host, comparing:
+//   local — imgfs over a raw local file accessed with pread/pwrite
+//           (the "hypervisor has direct local access" baseline), vs.
+//   ours  — imgfs over the mirroring module's VirtualDisk (mmapped local
+//           mirror + BlobSeer-style store underneath).
+//
+// Expected shape (paper): reads on par; write and overwrite ~2x higher for
+// ours thanks to the mmap write-back path. Absolute numbers depend on this
+// host's storage. NOTE: the paper's FUSE user/kernel context-switch
+// overhead does not exist in-library, so ours has a smaller handicap here
+// than in the paper (see EXPERIMENTS.md).
+#include <cstdio>
+#include <string>
+
+#include "apps/bonnie.hpp"
+#include "blob/store.hpp"
+#include "imgfs/block_device.hpp"
+#include "mirror/virtual_disk.hpp"
+#include "util/bench_util.hpp"
+
+namespace vmstorm {
+namespace {
+
+apps::BonnieConfig bonnie_config() {
+  apps::BonnieConfig cfg;
+  // Paper: 800 MB written/read back out of a 2 GB image, 8 KiB blocks.
+  cfg.total = bench::quick_mode() ? 64_MiB : 800_MiB;
+  cfg.block = 8_KiB;
+  cfg.file_size = 64_MiB;
+  cfg.seek_ops = 2000;
+  cfg.file_ops = 1000;
+  return cfg;
+}
+
+Bytes image_size() { return bench::quick_mode() ? 256_MiB : 2_GiB; }
+
+Result<apps::BonnieResult> run_local(const std::string& dir) {
+  VMSTORM_ASSIGN_OR_RETURN(
+      dev, imgfs::PosixFileDevice::open(dir + "/local_raw.img", image_size()));
+  VMSTORM_ASSIGN_OR_RETURN(fs, imgfs::FileSystem::format(*dev));
+  return apps::run_bonnie(*fs, bonnie_config());
+}
+
+Result<apps::BonnieResult> run_ours(const std::string& dir) {
+  blob::BlobStore store(blob::StoreConfig{.providers = 4});
+  VMSTORM_ASSIGN_OR_RETURN(blob, store.create(image_size(), 256_KiB));
+  VMSTORM_ASSIGN_OR_RETURN(v, store.write_pattern(blob, 0, 0, image_size(), 1));
+  mirror::VirtualDiskOptions opts;
+  opts.local_path = dir + "/mirror_raw.img";
+  VMSTORM_ASSIGN_OR_RETURN(disk, mirror::VirtualDisk::open(store, blob, v, opts));
+  imgfs::MirrorDevice dev(*disk);
+  VMSTORM_ASSIGN_OR_RETURN(fs, imgfs::FileSystem::format(dev));
+  return apps::run_bonnie(*fs, bonnie_config());
+}
+
+}  // namespace
+
+int run() {
+  bench::print_header("Figure 6",
+                      "Bonnie++ sustained throughput, 8 KiB blocks (real I/O)");
+  const std::string dir = "vmstorm_bench_tmp";
+  (void)std::system(("mkdir -p " + dir).c_str());
+
+  auto local = run_local(dir);
+  auto ours = run_ours(dir);
+  (void)std::system(("rm -rf " + dir).c_str());
+  if (!local.is_ok() || !ours.is_ok()) {
+    std::fprintf(stderr, "bonnie failed: %s %s\n",
+                 local.status().to_string().c_str(),
+                 ours.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\nThroughput (KB/s); paper columns digitized from Figure 6\n");
+  Table t({"pattern", "local", "our-approach", "ours/local", "paper ours/local"});
+  auto row = [&](const char* name, double l, double o, double paper_ratio) {
+    t.add_row({name, Table::num(l, 0), Table::num(o, 0), Table::num(o / l, 2),
+               Table::num(paper_ratio, 2)});
+  };
+  row("BlockW", local->block_write_kbps, ours->block_write_kbps, 1.9);
+  row("BlockR", local->block_read_kbps, ours->block_read_kbps, 1.0);
+  row("BlockO", local->block_overwrite_kbps, ours->block_overwrite_kbps, 1.9);
+  t.print();
+  return 0;
+}
+
+}  // namespace vmstorm
+
+int main() { return vmstorm::run(); }

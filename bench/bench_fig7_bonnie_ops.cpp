@@ -1,0 +1,115 @@
+// Figure 7 — Bonnie++ operations per second (§5.4): random seeks and file
+// creation/deletion on the in-image filesystem, REAL I/O, local raw file
+// vs. the mirroring module.
+//
+// Paper shape: ours lower, "especially with random seeks and file
+// deletion", but "the performance penalty in real life is not an issue".
+// In-library we lack FUSE's context switches, so the gap is smaller (see
+// EXPERIMENTS.md).
+#include <cstdio>
+#include <string>
+
+#include "apps/bonnie.hpp"
+#include "blob/store.hpp"
+#include "imgfs/block_device.hpp"
+#include "mirror/virtual_disk.hpp"
+#include "util/bench_util.hpp"
+
+namespace vmstorm {
+namespace {
+
+apps::BonnieConfig bonnie_config() {
+  apps::BonnieConfig cfg;
+  cfg.total = bench::quick_mode() ? 32_MiB : 256_MiB;
+  cfg.block = 8_KiB;
+  cfg.file_size = 32_MiB;
+  cfg.seek_ops = bench::quick_mode() ? 2000 : 20000;
+  cfg.file_ops = bench::quick_mode() ? 500 : 3000;
+  return cfg;
+}
+
+Bytes image_size() { return bench::quick_mode() ? 128_MiB : 1_GiB; }
+
+}  // namespace
+
+int run() {
+  bench::print_header("Figure 7",
+                      "Bonnie++ operations per second (real I/O)");
+  const std::string dir = "vmstorm_bench_tmp7";
+  (void)std::system(("mkdir -p " + dir).c_str());
+
+  apps::BonnieResult local, ours, ours_fuse;
+  {
+    auto dev = imgfs::PosixFileDevice::open(dir + "/local.img", image_size());
+    auto fs = imgfs::FileSystem::format(**dev);
+    auto r = apps::run_bonnie(**fs, bonnie_config());
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "local bonnie failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    local = *r;
+  }
+  {
+    blob::BlobStore store(blob::StoreConfig{.providers = 4});
+    auto blob = store.create(image_size(), 256_KiB).value();
+    auto v = store.write_pattern(blob, 0, 0, image_size(), 1).value();
+    mirror::VirtualDiskOptions opts;
+    opts.local_path = dir + "/mirror.img";
+    auto disk = mirror::VirtualDisk::open(store, blob, v, opts).value();
+    imgfs::MirrorDevice dev(*disk);
+    auto fs = imgfs::FileSystem::format(dev);
+    auto r = apps::run_bonnie(**fs, bonnie_config());
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "mirror bonnie failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    ours = *r;
+  }
+  {
+    // The paper's module sits behind FUSE: every request crosses
+    // user/kernel twice. Emulate that crossing (~12 µs/op on 2011-era
+    // hardware) to recover Figure 7's shape.
+    blob::BlobStore store(blob::StoreConfig{.providers = 4});
+    auto blob = store.create(image_size(), 256_KiB).value();
+    auto v = store.write_pattern(blob, 0, 0, image_size(), 1).value();
+    mirror::VirtualDiskOptions opts;
+    opts.local_path = dir + "/mirror_fuse.img";
+    auto disk = mirror::VirtualDisk::open(store, blob, v, opts).value();
+    imgfs::MirrorDevice raw(*disk);
+    imgfs::LatencyDevice dev(raw, 12000);
+    auto fs = imgfs::FileSystem::format(dev);
+    auto r = apps::run_bonnie(**fs, bonnie_config());
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "fuse-emu bonnie failed: %s\n",
+                   r.status().to_string().c_str());
+      return 1;
+    }
+    ours_fuse = *r;
+  }
+  (void)std::system(("rm -rf " + dir).c_str());
+
+  std::printf("\nOperations per second; paper columns digitized from Figure 7.\n"
+              "ours+fuse adds an emulated 12 us/op user/kernel crossing (the\n"
+              "overhead the paper's FUSE-based module pays; in-library we\n"
+              "don't, so plain 'ours' shows little penalty).\n");
+  Table t({"operation", "local", "ours", "ours/local", "ours+fuse",
+           "+fuse/local", "paper ours/local"});
+  auto row = [&](const char* name, double l, double o, double of,
+                 double paper_ratio) {
+    t.add_row({name, Table::num(l, 0), Table::num(o, 0), Table::num(o / l, 2),
+               Table::num(of, 0), Table::num(of / l, 2),
+               Table::num(paper_ratio, 2)});
+  };
+  row("RndSeek", local.random_seeks_per_s, ours.random_seeks_per_s,
+      ours_fuse.random_seeks_per_s, 0.45);
+  row("CreatF", local.creates_per_s, ours.creates_per_s,
+      ours_fuse.creates_per_s, 0.85);
+  row("DelF", local.deletes_per_s, ours.deletes_per_s,
+      ours_fuse.deletes_per_s, 0.40);
+  t.print();
+  return 0;
+}
+
+}  // namespace vmstorm
+
+int main() { return vmstorm::run(); }

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the library's hot paths: the
+// versioned segment tree, the mirroring translator, range sets, chunk
+// payload materialization, the qcow format, imgfs, and the event engine.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "blob/segment_tree.hpp"
+#include "blob/store.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "imgfs/filesystem.hpp"
+#include "mirror/local_state.hpp"
+#include "qcow/image.hpp"
+#include "sim/engine.hpp"
+
+namespace vmstorm {
+namespace {
+
+void BM_SegmentTreeCommit(benchmark::State& state) {
+  const std::uint64_t chunks = 8192;  // 2 GiB / 256 KiB
+  const std::uint64_t k = static_cast<std::uint64_t>(state.range(0));
+  blob::SegmentTreeArena arena;
+  blob::NodeRef root = arena.build_empty(chunks);
+  Rng rng(1);
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    std::map<std::uint64_t, blob::ChunkLocation> updates;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t ci = rng.uniform_u64(chunks);
+      updates[ci] = blob::ChunkLocation{ci, 0, key++};
+    }
+    root = arena.commit(root, updates);
+    benchmark::DoNotOptimize(root);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_SegmentTreeCommit)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SegmentTreeLocate(benchmark::State& state) {
+  blob::SegmentTreeArena arena;
+  blob::NodeRef root = arena.build_empty(8192);
+  std::vector<blob::ChunkLocation> out;
+  for (auto _ : state) {
+    out.clear();
+    arena.locate(root, 1000, 1000 + state.range(0), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegmentTreeLocate)->Arg(1)->Arg(32)->Arg(512);
+
+void BM_SegmentTreeClone(benchmark::State& state) {
+  blob::SegmentTreeArena arena;
+  blob::NodeRef root = arena.build_empty(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.clone(root));
+  }
+}
+BENCHMARK(BM_SegmentTreeClone);
+
+void BM_RangeSetInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    RangeSet s;
+    for (int i = 0; i < state.range(0); ++i) {
+      const Bytes lo = rng.uniform_u64(1 << 20);
+      s.insert({lo, lo + 1 + rng.uniform_u64(4096)});
+    }
+    benchmark::DoNotOptimize(s.fragment_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeSetInsert)->Arg(64)->Arg(1024);
+
+void BM_MirrorPlanRead(benchmark::State& state) {
+  mirror::MirrorConfig cfg;
+  cfg.image_size = 2_GiB;
+  cfg.chunk_size = 256_KiB;
+  mirror::LocalState st(cfg);
+  Rng rng(3);
+  // Half-mirrored image.
+  for (int i = 0; i < 4096; ++i) {
+    const Bytes lo = rng.uniform_u64(2_GiB - 256_KiB);
+    st.apply_fetch({lo, lo + 128_KiB});
+  }
+  for (auto _ : state) {
+    const Bytes lo = rng.uniform_u64(2_GiB - 64_KiB);
+    benchmark::DoNotOptimize(st.plan_read({lo, lo + 32_KiB}));
+  }
+}
+BENCHMARK(BM_MirrorPlanRead);
+
+void BM_ChunkPayloadPattern(benchmark::State& state) {
+  auto payload = blob::ChunkPayload::pattern(42, 256_KiB);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    payload.read(0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChunkPayloadPattern)->Arg(4096)->Arg(262144);
+
+void BM_BlobStoreReadThrough(benchmark::State& state) {
+  blob::BlobStore store(blob::StoreConfig{.providers = 8});
+  blob::BlobId b = store.create(64_MiB, 256_KiB).value();
+  store.write_pattern(b, 0, 0, 64_MiB, 1).value();
+  std::vector<std::byte> buf(64_KiB);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Bytes off = rng.uniform_u64(64_MiB - buf.size());
+    benchmark::DoNotOptimize(store.read(b, 1, off, buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_BlobStoreReadThrough);
+
+void BM_QcowWrite(benchmark::State& state) {
+  auto img = qcow::Image::create(std::make_unique<qcow::MemFile>(), 64_MiB,
+                                 64_KiB).value();
+  std::vector<std::byte> buf(8_KiB, std::byte{1});
+  Rng rng(9);
+  for (auto _ : state) {
+    const Bytes off = rng.uniform_u64(64_MiB - buf.size()) & ~Bytes{4095};
+    benchmark::DoNotOptimize(img->write(off, buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_QcowWrite);
+
+void BM_ImgFsWrite8K(benchmark::State& state) {
+  imgfs::MemDevice dev(256_MiB);
+  auto fs = imgfs::FileSystem::format(dev).value();
+  auto f = fs->create("bench").value();
+  std::vector<std::byte> buf(8_KiB, std::byte{1});
+  Bytes off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->write(f, off, buf));
+    off = (off + buf.size()) % (128_MiB);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ImgFsWrite8K);
+
+sim::Task<void> ping(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) co_await e.sleep(1);
+}
+
+void BM_SimEngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 64; ++i) e.spawn(ping(e, 64));
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_SimEngineEvents);
+
+}  // namespace
+}  // namespace vmstorm
+
+BENCHMARK_MAIN();

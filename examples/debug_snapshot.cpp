@@ -1,0 +1,100 @@
+// Iterative debugging with CLONE/COMMIT (paper §3.2): capture the state of
+// an application right before a bug, then analyze and modify independent
+// snapshot clones until a fix works — without re-running the expensive
+// part. All snapshots are first-class raw images.
+//
+// The "application" here writes its state into files on the in-image
+// filesystem; the "bug" is a bad configuration value we fix on a clone.
+//
+// Build & run:  ./build/examples/debug_snapshot
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blob/store.hpp"
+#include "imgfs/block_device.hpp"
+#include "imgfs/filesystem.hpp"
+#include "mirror/virtual_disk.hpp"
+
+using namespace vmstorm;
+
+namespace {
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string read_file(imgfs::FileSystem& fs, const std::string& name) {
+  auto id = fs.lookup(name).value();
+  auto st = fs.stat(id).value();
+  std::vector<std::byte> buf(st.size);
+  fs.read(id, 0, buf).is_ok();
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+void write_file(imgfs::FileSystem& fs, const std::string& name,
+                const std::string& content) {
+  auto id = fs.lookup(name);
+  imgfs::InodeId inode = id.is_ok() ? *id : fs.create(name).value();
+  fs.truncate(inode, 0).is_ok();
+  fs.write(inode, 0, to_bytes(content)).is_ok();
+}
+
+}  // namespace
+
+int main() {
+  blob::BlobStore store(blob::StoreConfig{.providers = 4});
+  blob::BlobId image = store.create(64_MiB, 256_KiB).value();
+  store.write_pattern(image, 0, 0, 64_MiB, 1).value();
+
+  // The running VM: an application that computed for hours and is about to
+  // hit a bug caused by a config value.
+  mirror::VirtualDiskOptions opts;
+  opts.local_path = "/tmp/vmstorm_debug.img";
+  auto disk = mirror::VirtualDisk::open(store, image, 1, opts).value();
+  imgfs::MirrorDevice dev(*disk);
+  auto fs = imgfs::FileSystem::format(dev).value();
+  write_file(*fs, "app.conf", "threads=0\n");           // the bug
+  write_file(*fs, "checkpoint.dat", "expensive state"); // hours of work
+
+  // Capture the pre-bug state: CLONE + COMMIT. The snapshot is fully
+  // independent; the VM could keep running (and crashing).
+  blob::BlobId snap_blob = disk->clone().value();
+  blob::Version snap_ver = disk->commit().value();
+  std::printf("captured pre-bug snapshot: blob %u v%u\n", snap_blob, snap_ver);
+
+  // Debug iterations: each attempt opens ITS OWN clone of the snapshot,
+  // pokes at the config, and "re-runs". Failed attempts are just dropped.
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    blob::BlobId trial = store.clone(snap_blob, snap_ver).value();
+    mirror::VirtualDiskOptions topts;
+    topts.local_path = "/tmp/vmstorm_debug_try" + std::to_string(attempt) + ".img";
+    auto tdisk = mirror::VirtualDisk::open(store, trial, 0, topts).value();
+    imgfs::MirrorDevice tdev(*tdisk);
+    auto tfs = imgfs::FileSystem::mount(tdev).value();
+
+    write_file(*tfs, "app.conf", "threads=" + std::to_string(attempt) + "\n");
+    const bool fixed = attempt == 3;  // pretend attempt 3 works
+    std::printf("attempt %d: conf=%s -> %s (checkpoint intact: %s)\n", attempt,
+                read_file(*tfs, "app.conf").c_str(), fixed ? "FIXED" : "still broken",
+                read_file(*tfs, "checkpoint.dat") == "expensive state" ? "yes" : "NO");
+    if (fixed) {
+      blob::Version v = tdisk->commit().value();
+      std::printf("published fixed image: blob %u v%u — resume from here\n",
+                  trial, v);
+    }
+    std::remove(topts.local_path.c_str());
+    std::remove((topts.local_path + ".meta").c_str());
+  }
+
+  // The original snapshot never changed through all of this.
+  std::printf("snapshots stored: %zu blobs, repository holds %s total\n",
+              store.blob_count(),
+              format_bytes(static_cast<double>(store.stored_bytes())).c_str());
+  std::remove("/tmp/vmstorm_debug.img");
+  std::remove("/tmp/vmstorm_debug.img.meta");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Virtual-cluster deployment (the paper's motivating scenario): a user
+// leases 24 nodes and instantiates a virtual cluster from one image. This
+// example runs the multideployment on the simulated testbed under all
+// three strategies and prints what the user would perceive.
+//
+// Build & run:  ./build/examples/virtual_cluster
+#include <cstdio>
+
+#include "cloud/cloud.hpp"
+#include "common/table.hpp"
+
+using namespace vmstorm;
+
+int main() {
+  const std::size_t kNodes = 24;
+
+  cloud::CloudConfig cfg;
+  cfg.compute_nodes = kNodes;
+  cfg.image_size = 2_GiB;
+  cfg.chunk_size = 256_KiB;
+
+  vm::BootTraceParams boot;  // ~105 MiB of reads out of the 2 GiB image
+
+  std::printf("Deploying a %zu-node virtual cluster from a %s image...\n\n",
+              kNodes, format_bytes(static_cast<double>(cfg.image_size)).c_str());
+
+  Table t({"strategy", "init (s)", "avg boot (s)", "cluster ready (s)",
+           "traffic (GB)"});
+  for (auto s : {cloud::Strategy::kPrepropagation,
+                 cloud::Strategy::kQcowOverPvfs, cloud::Strategy::kOurs}) {
+    cloud::Cloud cloud(cfg, s);
+    auto m = cloud.multideploy(kNodes, boot);
+    t.add_row({cloud::strategy_name(s), Table::num(m.broadcast_seconds, 1),
+               Table::num(m.boot_seconds.mean(), 1),
+               Table::num(m.completion_seconds, 1),
+               Table::num(static_cast<double>(m.network_traffic) / 1e9, 2)});
+  }
+  t.print();
+
+  std::printf("\nLazy mirroring makes the cluster usable in seconds: only the\n"
+              "~5%% of the image the boot actually touches ever crosses the\n"
+              "network, and it is striped across all %zu local disks.\n",
+              kNodes);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Read-your-writes deployment (paper §2.3/§5.4): a virtualized web server
+// writes log entries and object-cache files into its image and reads them
+// back. Demonstrates that (a) previously-written data is served locally at
+// memory speed with zero repository traffic, and (b) periodic COMMITs
+// persist only the increments.
+//
+// Build & run:  ./build/examples/webserver_logs
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blob/store.hpp"
+#include "common/rng.hpp"
+#include "imgfs/block_device.hpp"
+#include "imgfs/filesystem.hpp"
+#include "mirror/virtual_disk.hpp"
+
+using namespace vmstorm;
+
+int main() {
+  blob::BlobStore store(blob::StoreConfig{.providers = 8});
+  blob::BlobId image = store.create(128_MiB, 256_KiB).value();
+  store.write_pattern(image, 0, 0, 128_MiB, 7).value();
+
+  mirror::VirtualDiskOptions opts;
+  opts.local_path = "/tmp/vmstorm_webserver.img";
+  auto disk = mirror::VirtualDisk::open(store, image, 1, opts).value();
+  imgfs::MirrorDevice dev(*disk);
+  auto fs = imgfs::FileSystem::format(dev).value();
+
+  auto access_log = fs->create("access.log").value();
+  Rng rng(1);
+  Bytes log_pos = 0;
+  std::vector<std::string> cache_names;
+
+  // Serve "requests": append a log line per request; occasionally store an
+  // object in the cache; re-read cached objects on hits.
+  for (int request = 0; request < 2000; ++request) {
+    char line[128];
+    const int n = std::snprintf(line, sizeof(line),
+                                "10.0.0.%llu - GET /item/%llu 200 %llu\n",
+                                (unsigned long long)rng.uniform_u64(255),
+                                (unsigned long long)rng.uniform_u64(1000),
+                                (unsigned long long)(200 + rng.uniform_u64(4000)));
+    fs->write(access_log, log_pos,
+              std::span(reinterpret_cast<const std::byte*>(line),
+                        static_cast<std::size_t>(n))).is_ok();
+    log_pos += static_cast<Bytes>(n);
+
+    if (rng.bernoulli(0.05)) {  // cache miss: store a ~64 KiB object
+      std::string name = "cache/obj" + std::to_string(cache_names.size());
+      auto id = fs->create(name).value();
+      std::vector<std::byte> obj(64_KiB, std::byte{static_cast<unsigned char>(request)});
+      fs->write(id, 0, obj).is_ok();
+      cache_names.push_back(name);
+    } else if (!cache_names.empty() && rng.bernoulli(0.4)) {  // cache hit
+      auto id = fs->lookup(cache_names[rng.uniform_u64(cache_names.size())]).value();
+      std::vector<std::byte> buf(4_KiB);
+      fs->read(id, 0, buf).is_ok();  // read-your-writes: served locally
+    }
+
+    if (request % 500 == 499) {  // periodic durability: snapshot the image
+      if (request / 500 == 0) disk->clone().value();
+      const Bytes before = store.stored_bytes();
+      blob::Version v = disk->commit().value();
+      std::printf("request %4d: committed v%u, +%s to the repository "
+                  "(log %s, %zu cached objects)\n",
+                  request + 1, v,
+                  format_bytes(static_cast<double>(store.stored_bytes() - before)).c_str(),
+                  format_bytes(static_cast<double>(log_pos)).c_str(),
+                  cache_names.size());
+    }
+  }
+
+  const auto& st = disk->stats();
+  std::printf("\nrepository reads during the whole run: %s in %llu fetches\n",
+              format_bytes(static_cast<double>(st.remote_bytes_fetched)).c_str(),
+              (unsigned long long)st.remote_fetches);
+  std::printf("(only filesystem metadata blocks and gap fills — every log\n"
+              " write and cache hit was served from the local mirror)\n");
+
+  disk->close().is_ok();
+  std::remove("/tmp/vmstorm_webserver.img");
+  std::remove("/tmp/vmstorm_webserver.img.meta");
+  return 0;
+}

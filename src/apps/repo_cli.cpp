@@ -1,0 +1,256 @@
+#include "apps/repo_cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <fstream>
+#include <sstream>
+
+#include "blob/persist.hpp"
+#include "blob/store.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace vmstorm::apps {
+
+namespace {
+
+constexpr Bytes kDefaultChunk = 256_KiB;
+
+Result<std::vector<std::byte>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("cannot open " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> out(raw.size());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+Status write_file(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return unavailable("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out ? Status::ok() : unavailable("write failed");
+}
+
+Result<std::uint64_t> parse_u64(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return invalid_argument("not a number: " + text);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+struct Parsed {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --name value / --name
+};
+
+Result<Parsed> parse_args(const std::vector<std::string>& args) {
+  if (args.empty()) return invalid_argument("no command; try: " + repo_cli_usage());
+  Parsed p;
+  p.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      const std::string name = args[i].substr(2);
+      if (name == "dedup") {
+        p.flags[name] = "1";
+      } else {
+        if (i + 1 >= args.size()) {
+          return invalid_argument("flag --" + name + " needs a value");
+        }
+        p.flags[name] = args[++i];
+      }
+    } else {
+      p.positional.push_back(args[i]);
+    }
+  }
+  return p;
+}
+
+Result<std::unique_ptr<blob::BlobStore>> open_repo(const std::string& path) {
+  return blob::load_store_file(path);
+}
+
+Result<std::string> cmd_init(const Parsed& p) {
+  if (p.positional.size() != 1) return invalid_argument("init <repo>");
+  blob::StoreConfig cfg;
+  cfg.providers = 8;
+  if (auto it = p.flags.find("providers"); it != p.flags.end()) {
+    VMSTORM_ASSIGN_OR_RETURN(n, parse_u64(it->second));
+    if (n == 0) return invalid_argument("--providers must be > 0");
+    cfg.providers = n;
+  }
+  if (auto it = p.flags.find("replication"); it != p.flags.end()) {
+    VMSTORM_ASSIGN_OR_RETURN(r, parse_u64(it->second));
+    cfg.replication = r;
+  }
+  cfg.dedup = p.flags.count("dedup") > 0;
+  blob::BlobStore store(cfg);
+  VMSTORM_RETURN_IF_ERROR(blob::save_store_file(store, p.positional[0]));
+  std::ostringstream os;
+  os << "initialized repository " << p.positional[0] << " (" << cfg.providers
+     << " providers, replication " << cfg.replication
+     << (cfg.dedup ? ", dedup on" : "") << ")\n";
+  return os.str();
+}
+
+Result<std::string> cmd_ls(const Parsed& p) {
+  if (p.positional.size() != 1) return invalid_argument("ls <repo>");
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  Table t({"blob", "size", "chunk", "latest", "versions"});
+  // Blob ids are dense from 1; probe until the directory runs out.
+  std::size_t seen = 0;
+  for (blob::BlobId id = 1; seen < store->blob_count() && id < 1u << 20; ++id) {
+    auto info = store->info(id);
+    if (!info.is_ok()) continue;
+    ++seen;
+    t.add_row({std::to_string(id),
+               format_bytes(static_cast<double>(info->size)),
+               format_bytes(static_cast<double>(info->chunk_size)),
+               std::to_string(info->latest),
+               std::to_string(info->latest + 1)});
+  }
+  std::ostringstream os;
+  os << t.to_string() << store->blob_count() << " blob(s), "
+     << format_bytes(static_cast<double>(store->stored_bytes()))
+     << " stored\n";
+  return os.str();
+}
+
+Result<std::string> cmd_stat(const Parsed& p) {
+  if (p.positional.size() != 2) return invalid_argument("stat <repo> <blob>");
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  VMSTORM_ASSIGN_OR_RETURN(id, parse_u64(p.positional[1]));
+  VMSTORM_ASSIGN_OR_RETURN(info, store->info(static_cast<blob::BlobId>(id)));
+  std::ostringstream os;
+  os << "blob " << id << ": size "
+     << format_bytes(static_cast<double>(info.size)) << ", "
+     << info.chunk_count << " chunks of "
+     << format_bytes(static_cast<double>(info.chunk_size)) << ", versions 0.."
+     << info.latest << "\n";
+  return os.str();
+}
+
+Result<std::string> cmd_upload(const Parsed& p) {
+  if (p.positional.size() != 2) return invalid_argument("upload <repo> <file>");
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  VMSTORM_ASSIGN_OR_RETURN(data, read_file(p.positional[1]));
+  if (data.empty()) return invalid_argument("refusing to upload an empty file");
+  Bytes chunk = kDefaultChunk;
+  if (auto it = p.flags.find("chunk"); it != p.flags.end()) {
+    VMSTORM_ASSIGN_OR_RETURN(c, parse_size(it->second));
+    chunk = c;
+  }
+  VMSTORM_ASSIGN_OR_RETURN(id, store->create(data.size(), chunk));
+  VMSTORM_ASSIGN_OR_RETURN(v, store->write(id, 0, 0, data));
+  VMSTORM_RETURN_IF_ERROR(blob::save_store_file(*store, p.positional[0]));
+  std::ostringstream os;
+  os << "uploaded " << p.positional[1] << " as blob " << id << " version " << v
+     << " (" << format_bytes(static_cast<double>(data.size())) << ")\n";
+  return os.str();
+}
+
+Result<std::string> cmd_download(const Parsed& p) {
+  if (p.positional.size() != 4) {
+    return invalid_argument("download <repo> <blob> <version> <file>");
+  }
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  VMSTORM_ASSIGN_OR_RETURN(id, parse_u64(p.positional[1]));
+  VMSTORM_ASSIGN_OR_RETURN(version, parse_u64(p.positional[2]));
+  VMSTORM_ASSIGN_OR_RETURN(info, store->info(static_cast<blob::BlobId>(id)));
+  std::vector<std::byte> data(info.size);
+  VMSTORM_RETURN_IF_ERROR(store->read(static_cast<blob::BlobId>(id),
+                                      static_cast<blob::Version>(version), 0,
+                                      data));
+  VMSTORM_RETURN_IF_ERROR(write_file(p.positional[3], data));
+  std::ostringstream os;
+  os << "downloaded blob " << id << " v" << version << " to " << p.positional[3]
+     << " (" << format_bytes(static_cast<double>(data.size())) << ")\n";
+  return os.str();
+}
+
+Result<std::string> cmd_clone(const Parsed& p) {
+  if (p.positional.size() != 3) {
+    return invalid_argument("clone <repo> <blob> <version>");
+  }
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  VMSTORM_ASSIGN_OR_RETURN(id, parse_u64(p.positional[1]));
+  VMSTORM_ASSIGN_OR_RETURN(version, parse_u64(p.positional[2]));
+  VMSTORM_ASSIGN_OR_RETURN(
+      clone, store->clone(static_cast<blob::BlobId>(id),
+                          static_cast<blob::Version>(version)));
+  VMSTORM_RETURN_IF_ERROR(blob::save_store_file(*store, p.positional[0]));
+  std::ostringstream os;
+  os << "cloned blob " << id << " v" << version << " as blob " << clone
+     << " (zero data copied)\n";
+  return os.str();
+}
+
+Result<std::string> cmd_patch(const Parsed& p) {
+  if (p.positional.size() != 4) {
+    return invalid_argument("patch <repo> <blob> <offset> <file>");
+  }
+  VMSTORM_ASSIGN_OR_RETURN(store, open_repo(p.positional[0]));
+  VMSTORM_ASSIGN_OR_RETURN(id, parse_u64(p.positional[1]));
+  VMSTORM_ASSIGN_OR_RETURN(offset, parse_size(p.positional[2]));
+  VMSTORM_ASSIGN_OR_RETURN(data, read_file(p.positional[3]));
+  VMSTORM_ASSIGN_OR_RETURN(info, store->info(static_cast<blob::BlobId>(id)));
+  VMSTORM_ASSIGN_OR_RETURN(
+      v, store->write(static_cast<blob::BlobId>(id), info.latest, offset, data));
+  VMSTORM_RETURN_IF_ERROR(blob::save_store_file(*store, p.positional[0]));
+  std::ostringstream os;
+  os << "patched blob " << id << " at offset " << offset << ": new version "
+     << v << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+Result<Bytes> parse_size(const std::string& text) {
+  if (text.empty()) return invalid_argument("empty size");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return invalid_argument("not a size: " + text);
+  Bytes mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'K': case 'k': mult = kKiB; break;
+      case 'M': case 'm': mult = kMiB; break;
+      case 'G': case 'g': mult = kGiB; break;
+      default: return invalid_argument("bad size suffix in: " + text);
+    }
+    if (*(end + 1) != '\0') return invalid_argument("bad size: " + text);
+  }
+  return static_cast<Bytes>(v) * mult;
+}
+
+std::string repo_cli_usage() {
+  return "vmstormctl <command>\n"
+         "  init <repo> [--providers N] [--replication R] [--dedup]\n"
+         "  ls <repo>\n"
+         "  stat <repo> <blob>\n"
+         "  upload <repo> <file> [--chunk SIZE]\n"
+         "  download <repo> <blob> <version> <file>\n"
+         "  clone <repo> <blob> <version>\n"
+         "  patch <repo> <blob> <offset> <file>\n";
+}
+
+Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
+  VMSTORM_ASSIGN_OR_RETURN(parsed, parse_args(args));
+  if (parsed.command == "init") return cmd_init(parsed);
+  if (parsed.command == "ls") return cmd_ls(parsed);
+  if (parsed.command == "stat") return cmd_stat(parsed);
+  if (parsed.command == "upload") return cmd_upload(parsed);
+  if (parsed.command == "download") return cmd_download(parsed);
+  if (parsed.command == "clone") return cmd_clone(parsed);
+  if (parsed.command == "patch") return cmd_patch(parsed);
+  return invalid_argument("unknown command '" + parsed.command + "'\n" +
+                          repo_cli_usage());
+}
+
+}  // namespace vmstorm::apps

@@ -1,0 +1,371 @@
+#include "cloud/cloud.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/sync.hpp"
+
+namespace vmstorm::cloud {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kPrepropagation: return "taktuk pre-propagation";
+    case Strategy::kQcowOverPvfs: return "qcow2 over PVFS";
+    case Strategy::kOurs: return "our approach";
+  }
+  return "?";
+}
+
+Cloud::Cloud(CloudConfig cfg, Strategy strategy)
+    : cfg_(cfg), strategy_(strategy) {
+  build_testbed();
+  upload_image();
+}
+
+Cloud::~Cloud() = default;
+
+void Cloud::build_testbed() {
+  // Node layout: [0, N)               compute nodes (repository providers)
+  //              [N, 2N)              fresh compute nodes for resume
+  //              2N                   NFS server
+  //              2N + 1               version/cloud manager
+  const std::size_t n = cfg_.compute_nodes;
+  network_ = std::make_unique<net::Network>(engine_, 2 * n + 2, cfg_.network);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    disks_.push_back(std::make_unique<storage::Disk>(engine_, cfg_.disk));
+    compute_nodes_.push_back(static_cast<net::NodeId>(i));
+  }
+  nfs_disk_ = std::make_unique<storage::Disk>(engine_, cfg_.disk);
+  nfs_node_ = static_cast<net::NodeId>(2 * n);
+  manager_node_ = static_cast<net::NodeId>(2 * n + 1);
+  next_fresh_node_ = n;
+}
+
+void Cloud::upload_image() {
+  const std::size_t n = cfg_.compute_nodes;
+  switch (strategy_) {
+    case Strategy::kOurs: {
+      blob::StoreConfig sc;
+      sc.providers = n;
+      sc.replication = cfg_.replication;
+      sc.dedup = cfg_.dedup;
+      sc.seed = cfg_.seed;
+      store_ = std::make_unique<blob::BlobStore>(sc);
+      std::vector<net::NodeId> provider_nodes(compute_nodes_.begin(),
+                                              compute_nodes_.begin() + n);
+      std::vector<storage::Disk*> provider_disks;
+      for (std::size_t i = 0; i < n; ++i) provider_disks.push_back(disks_[i].get());
+      cluster_ = std::make_unique<blob::SimCluster>(
+          engine_, *network_, *store_, provider_nodes, provider_disks,
+          manager_node_);
+      image_blob_ = store_->create(cfg_.image_size, cfg_.chunk_size).value();
+      auto v = store_->write_pattern(image_blob_, 0, 0, cfg_.image_size, cfg_.seed);
+      if (!v.is_ok()) throw std::runtime_error(v.status().to_string());
+      break;
+    }
+    case Strategy::kQcowOverPvfs: {
+      fs_ = std::make_unique<dfs::StripedFs>(n, cfg_.chunk_size);
+      std::vector<net::NodeId> server_nodes(compute_nodes_.begin(),
+                                            compute_nodes_.begin() + n);
+      std::vector<storage::Disk*> server_disks;
+      for (std::size_t i = 0; i < n; ++i) server_disks.push_back(disks_[i].get());
+      sim_dfs_ = std::make_unique<dfs::SimDfs>(engine_, *network_, *fs_,
+                                               server_nodes, server_disks);
+      backing_file_ = fs_->create("base.raw").value();
+      Status st = fs_->write_pattern(backing_file_, 0, cfg_.image_size, cfg_.seed);
+      if (!st.is_ok()) throw std::runtime_error(st.to_string());
+      break;
+    }
+    case Strategy::kPrepropagation:
+      // Image lives on the NFS server; nothing to pre-stage.
+      break;
+  }
+}
+
+std::unique_ptr<Cloud::Instance> Cloud::make_instance(std::size_t node_index,
+                                                      std::uint64_t salt) {
+  auto inst = std::make_unique<Instance>();
+  inst->node_index = node_index;
+  storage::Disk& local = *disks_.at(node_index);
+  const net::NodeId node = compute_nodes_.at(node_index);
+  switch (strategy_) {
+    case Strategy::kOurs: {
+      mirror::MirrorConfig mc;
+      mc.image_size = cfg_.image_size;
+      mc.chunk_size = cfg_.chunk_size;
+      mc.prefetch_whole_chunks = cfg_.mirror_prefetch_whole_chunks;
+      mc.single_region_per_chunk = cfg_.mirror_single_region_per_chunk;
+      inst->ours = std::make_unique<mirror::SimVirtualDisk>(
+          *cluster_, node, local, image_blob_, 1, mc, salt);
+      inst->ours->set_commit_shared_fraction(cfg_.snapshot_shared_fraction);
+      inst->vmdisk = std::make_unique<vm::MirrorVmDisk>(*inst->ours);
+      break;
+    }
+    case Strategy::kQcowOverPvfs:
+      inst->qcow = std::make_unique<qcow::SimImage>(
+          *sim_dfs_, backing_file_, local, node, cfg_.image_size,
+          cfg_.qcow_cluster_size, salt);
+      inst->vmdisk = std::make_unique<vm::QcowVmDisk>(*inst->qcow);
+      break;
+    case Strategy::kPrepropagation:
+      inst->vmdisk = std::make_unique<vm::LocalVmDisk>(local, salt);
+      break;
+  }
+  return inst;
+}
+
+MultideployMetrics Cloud::multideploy(std::size_t n,
+                                      const vm::BootTraceParams& tp,
+                                      vm::BootParams bp) {
+  assert(n >= 1 && n <= cfg_.compute_nodes);
+  MultideployMetrics m;
+  const Bytes traffic0 = network_->total_traffic();
+  const double t0 = engine_.now_seconds();
+
+  // Initialization phase (prepropagation only): broadcast the raw image.
+  if (strategy_ == Strategy::kPrepropagation) {
+    std::vector<net::NodeId> targets(compute_nodes_.begin(),
+                                     compute_nodes_.begin() + n);
+    std::vector<storage::Disk*> tdisks;
+    for (std::size_t i = 0; i < n; ++i) tdisks.push_back(disks_[i].get());
+    bcast::BroadcastResult br;
+    engine_.spawn(bcast::broadcast(engine_, *network_, nfs_node_, *nfs_disk_,
+                                   targets, tdisks, cfg_.image_size,
+                                   cfg_.broadcast, &br));
+    engine_.run();
+    m.broadcast_seconds = engine_.now_seconds() - t0;
+  }
+
+  // Instantiate and boot all VMs concurrently.
+  instances_.clear();
+  const vm::BootTrace trace = vm::BootTrace::generate(tp, cfg_.seed);
+  Rng root(cfg_.seed ^ 0xb007b007ull);
+  for (std::size_t i = 0; i < n; ++i) {
+    instances_.push_back(make_instance(i, next_salt_++));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    engine_.spawn(vm::run_boot(engine_, *instances_[i]->vmdisk, trace,
+                               root.fork(i), bp, &instances_[i]->boot));
+    if (strategy_ == Strategy::kOurs && cfg_.prefetch_window > 0 &&
+        !prefetch_profile_.empty()) {
+      engine_.spawn(
+          instances_[i]->ours->prefetch(prefetch_profile_, cfg_.prefetch_window));
+    }
+  }
+  engine_.run();
+
+  for (auto& inst : instances_) m.boot_seconds.add(inst->boot.boot_seconds());
+  // Completion = the slowest instance's boot, from phase start — what the
+  // user perceives. (engine.run() also drained background disk flushers;
+  // those are not part of the deployment's readiness.)
+  double last = t0;
+  for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
+  m.completion_seconds = last - t0;
+  m.network_traffic = network_->total_traffic() - traffic0;
+  return m;
+}
+
+sim::Task<void> Cloud::snapshot_one(Instance& inst, double started,
+                                    double* finished) {
+  switch (strategy_) {
+    case Strategy::kOurs: {
+      if (!inst.cloned) {
+        co_await inst.ours->clone();
+        inst.cloned = true;
+      }
+      co_await inst.ours->commit();
+      break;
+    }
+    case Strategy::kQcowOverPvfs: {
+      // Parallel copy of the local qcow2 file back to PVFS.
+      const Bytes host_bytes = inst.qcow->host_file_bytes();
+      const std::string name =
+          "snap_" + std::to_string(inst.node_index) + "_" +
+          std::to_string(engine_.now());
+      auto file = fs_->create(name);
+      if (!file.is_ok()) throw std::runtime_error(file.status().to_string());
+      inst.snapshot_file = *file;
+      // Local file is page-cache hot (just written); the cost is the push.
+      co_await sim_dfs_->write(compute_nodes_[inst.node_index], *file, 0,
+                               host_bytes);
+      Status st = fs_->write_pattern(*file, 0, host_bytes, 0xdead);
+      if (!st.is_ok()) throw std::runtime_error(st.to_string());
+      break;
+    }
+    case Strategy::kPrepropagation:
+      break;
+  }
+  (void)started;
+  *finished = engine_.now_seconds();
+}
+
+Result<MultisnapshotMetrics> Cloud::multisnapshot() {
+  if (strategy_ == Strategy::kPrepropagation) {
+    return failed_precondition(
+        "multisnapshotting full raw images back to NFS is infeasible (§5.3)");
+  }
+  if (instances_.empty()) return failed_precondition("no running instances");
+  MultisnapshotMetrics m;
+  const Bytes traffic0 = network_->total_traffic();
+  const Bytes repo0 = repository_bytes();
+  const double t0 = engine_.now_seconds();
+  std::vector<double> finished(instances_.size(), 0.0);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    engine_.spawn(snapshot_one(*instances_[i], t0, &finished[i]));
+  }
+  engine_.run();
+  double last = t0;
+  for (double f : finished) {
+    m.snapshot_seconds.add(f - t0);
+    last = std::max(last, f);
+  }
+  m.completion_seconds = last - t0;
+  m.network_traffic = network_->total_traffic() - traffic0;
+  m.repository_growth = repository_bytes() - repo0;
+  return m;
+}
+
+namespace {
+sim::Task<void> copy_snapshot_to_node(Cloud* cloud, dfs::SimDfs* dfs,
+                                      dfs::FileId file, net::NodeId node,
+                                      storage::Disk* disk, Bytes bytes) {
+  (void)cloud;
+  co_await dfs->read(node, file, 0, bytes);
+  co_await disk->write_async(bytes);
+}
+}  // namespace
+
+Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
+                                              vm::BootParams bp) {
+  if (instances_.empty()) return failed_precondition("nothing to resume");
+  if (next_fresh_node_ + instances_.size() > disks_.size()) {
+    return resource_exhausted("not enough fresh nodes to resume on");
+  }
+  MultideployMetrics m;
+  const Bytes traffic0 = network_->total_traffic();
+  const double t0 = engine_.now_seconds();
+
+  std::vector<std::unique_ptr<Instance>> resumed;
+  const vm::BootTrace trace = vm::BootTrace::generate(tp, cfg_.seed ^ 0x5e5);
+  Rng root(cfg_.seed ^ 0x4e5043ull);
+
+  // Stage 1 (qcow2 only): pull each snapshot file onto its fresh node.
+  if (strategy_ == Strategy::kQcowOverPvfs) {
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      const std::size_t fresh = next_fresh_node_ + i;
+      engine_.spawn(copy_snapshot_to_node(
+          this, sim_dfs_.get(), instances_[i]->snapshot_file,
+          compute_nodes_[fresh], disks_[fresh].get(),
+          instances_[i]->qcow->host_file_bytes()));
+    }
+    engine_.run();
+  }
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const std::size_t fresh = next_fresh_node_ + i;
+    auto inst = std::make_unique<Instance>();
+    inst->node_index = fresh;
+    storage::Disk& local = *disks_[fresh];
+    const net::NodeId node = compute_nodes_[fresh];
+    switch (strategy_) {
+      case Strategy::kOurs: {
+        if (!instances_[i]->cloned) {
+          return failed_precondition("resume requires a prior multisnapshot");
+        }
+        mirror::MirrorConfig mc;
+        mc.image_size = cfg_.image_size;
+        mc.chunk_size = cfg_.chunk_size;
+        mc.prefetch_whole_chunks = cfg_.mirror_prefetch_whole_chunks;
+        mc.single_region_per_chunk = cfg_.mirror_single_region_per_chunk;
+        inst->ours = std::make_unique<mirror::SimVirtualDisk>(
+            *cluster_, node, local, instances_[i]->ours->target_blob(),
+            instances_[i]->ours->target_version(), mc, next_salt_++);
+        inst->vmdisk = std::make_unique<vm::MirrorVmDisk>(*inst->ours);
+        inst->cloned = true;
+        break;
+      }
+      case Strategy::kQcowOverPvfs: {
+        inst->qcow = std::make_unique<qcow::SimImage>(
+            *sim_dfs_, backing_file_, local, node, cfg_.image_size,
+            cfg_.qcow_cluster_size, next_salt_++);
+        inst->qcow->adopt_allocation(*instances_[i]->qcow);
+        inst->snapshot_file = instances_[i]->snapshot_file;
+        inst->vmdisk = std::make_unique<vm::QcowVmDisk>(*inst->qcow);
+        break;
+      }
+      case Strategy::kPrepropagation:
+        return failed_precondition("prepropagation cannot resume");
+    }
+    resumed.push_back(std::move(inst));
+  }
+  next_fresh_node_ += instances_.size();
+
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    engine_.spawn(vm::run_boot(engine_, *resumed[i]->vmdisk, trace,
+                               root.fork(i), bp, &resumed[i]->boot));
+  }
+  engine_.run();
+  instances_ = std::move(resumed);
+
+  for (auto& inst : instances_) m.boot_seconds.add(inst->boot.boot_seconds());
+  double last = t0;
+  for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
+  m.completion_seconds = last - t0;
+  m.network_traffic = network_->total_traffic() - traffic0;
+  return m;
+}
+
+namespace {
+sim::Task<void> app_phase_one(sim::Engine* engine, vm::VmDisk* disk,
+                              double cpu_seconds, Bytes write_bytes,
+                              std::size_t write_ops, Rng rng,
+                              Bytes image_size) {
+  const std::size_t steps = write_ops == 0 ? 1 : write_ops;
+  const Bytes per_write = write_bytes / steps;
+  const Bytes band_lo = image_size / 2;
+  const Bytes band = image_size / 4;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double jitter = 0.9 + 0.2 * rng.uniform_double();
+    co_await engine->sleep_seconds(cpu_seconds / steps * jitter);
+    if (per_write > 0) {
+      Bytes off = band_lo + rng.uniform_u64(band - per_write);
+      off &= ~(4_KiB - 1);
+      co_await disk->write(off, per_write);
+    }
+  }
+}
+}  // namespace
+
+double Cloud::run_app_phase(double cpu_seconds, Bytes write_bytes,
+                            std::size_t write_ops) {
+  const double t0 = engine_.now_seconds();
+  Rng root(cfg_.seed ^ 0xa44ull);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    engine_.spawn(app_phase_one(&engine_, instances_[i]->vmdisk.get(),
+                                cpu_seconds, write_bytes, write_ops,
+                                root.fork(i), cfg_.image_size));
+  }
+  engine_.run();
+  return engine_.now_seconds() - t0;
+}
+
+Result<mirror::AccessProfile> Cloud::access_profile_of(
+    std::size_t instance) const {
+  if (instance >= instances_.size()) return out_of_range("instance index");
+  if (strategy_ != Strategy::kOurs || !instances_[instance]->ours) {
+    return failed_precondition("access profiles exist for kOurs only");
+  }
+  return instances_[instance]->ours->access_profile();
+}
+
+Bytes Cloud::repository_bytes() const {
+  switch (strategy_) {
+    case Strategy::kOurs: return store_->stored_bytes();
+    case Strategy::kQcowOverPvfs: return fs_->stored_bytes();
+    case Strategy::kPrepropagation: return cfg_.image_size;
+  }
+  return 0;
+}
+
+}  // namespace vmstorm::cloud

@@ -1,0 +1,42 @@
+// Tiny leveled logger. Default level is kWarn so library use is quiet;
+// benchmarks raise it to kInfo for progress lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vmstorm {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define VMSTORM_LOG(level)                                   \
+  if (::vmstorm::log_level() <= ::vmstorm::LogLevel::level)  \
+  ::vmstorm::detail::LogLine(::vmstorm::LogLevel::level)
+
+#define LOG_DEBUG VMSTORM_LOG(kDebug)
+#define LOG_INFO VMSTORM_LOG(kInfo)
+#define LOG_WARN VMSTORM_LOG(kWarn)
+#define LOG_ERROR VMSTORM_LOG(kError)
+
+}  // namespace vmstorm

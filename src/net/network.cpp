@@ -1,0 +1,53 @@
+#include "net/network.hpp"
+
+namespace vmstorm::net {
+
+Network::Network(sim::Engine& engine, std::size_t node_count, NetworkConfig cfg)
+    : engine_(&engine), cfg_(cfg) {
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) add_node();
+}
+
+NodeId Network::add_node() {
+  nodes_.push_back(std::make_unique<NetNode>(*engine_, cfg_));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
+  if (src == dst) co_return;  // local: no wire traffic, no NIC time
+  const Bytes wire = payload + cfg_.per_message_overhead;
+  total_traffic_ += wire;
+  total_payload_ += payload;
+  ++total_messages_;
+
+  NetNode& s = node(src);
+  NetNode& d = node(dst);
+  s.bytes_sent_ += wire;
+  d.bytes_received_ += wire;
+
+  if (cfg_.connection_setup > 0 && connections_.emplace(src, dst).second) {
+    co_await engine_->sleep(cfg_.connection_setup);
+  }
+  co_await s.tx_.serve_with_overhead(wire, cfg_.per_message_cpu);
+  co_await engine_->sleep(cfg_.latency);
+  co_await d.rx_.serve_with_overhead(wire, cfg_.per_message_cpu);
+}
+
+sim::Task<void> Network::round_trip(NodeId client, NodeId server,
+                                    Bytes request_bytes, Bytes response_bytes,
+                                    sim::Task<void> server_work) {
+  co_await transfer(client, server, request_bytes);
+  co_await std::move(server_work);
+  co_await transfer(server, client, response_bytes);
+}
+
+namespace {
+sim::Task<void> noop() { co_return; }
+}  // namespace
+
+sim::Task<void> Network::small_rpc(NodeId client, NodeId server,
+                                   Bytes request_bytes, Bytes response_bytes) {
+  co_await round_trip(client, server, request_bytes, response_bytes, noop());
+}
+
+}  // namespace vmstorm::net

@@ -1,0 +1,93 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace vmstorm::sim {
+
+namespace {
+
+/// Detached wrapper coroutine driving a spawned Task. Created suspended
+/// (so spawn() can enqueue its start deterministically); the frame
+/// self-destroys after completion (final_suspend = suspend_never).
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+DetachedTask detached_body(Engine* engine, Task<void> task,
+                           std::shared_ptr<JoinState> state,
+                           std::size_t* live_tasks) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    state->exception = std::current_exception();
+  }
+  state->done = true;
+  --*live_tasks;
+  for (auto waiter : state->waiters) engine->schedule_after(0, waiter);
+  state->waiters.clear();
+}
+
+}  // namespace
+
+Task<void> JoinHandle::join(Engine& engine) {
+  struct JoinAwaiter {
+    JoinState* state;
+    bool await_ready() const noexcept { return state->done; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      state->waiters.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  (void)engine;
+  assert(state_ && "joining an invalid handle");
+  co_await JoinAwaiter{state_.get()};
+  if (state_->exception) std::rethrow_exception(state_->exception);
+}
+
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+JoinHandle Engine::spawn(Task<void> task) {
+  auto state = std::make_shared<JoinState>();
+  ++live_tasks_;
+  DetachedTask d = detached_body(this, std::move(task), state, &live_tasks_);
+  schedule_after(0, d.handle);
+  return JoinHandle(state);
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (until >= 0 && ev.time > until) {
+      now_ = until;
+      return n;
+    }
+    queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++n;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  if (live_tasks_ > 0) {
+    LOG_WARN << "sim: event queue drained with " << live_tasks_
+             << " live task(s) still blocked";
+  }
+  return n;
+}
+
+}  // namespace vmstorm::sim

@@ -1,0 +1,120 @@
+// Deterministic discrete-event simulation engine.
+//
+// A single-threaded event loop over (time, sequence) ordered coroutine
+// resumptions. Equal-time events fire in schedule order, so a simulation is
+// bit-reproducible for a given seed and spawn order.
+//
+// Usage:
+//   sim::Engine e;
+//   auto h = e.spawn(my_process(e));
+//   e.run();                       // until no events remain
+//   double t = e.now_seconds();
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace vmstorm::sim {
+
+class Engine;
+
+/// Shared completion state of a spawned task.
+struct JoinState {
+  bool done = false;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+/// Handle returned by Engine::spawn. Join with `co_await handle.join(engine)`
+/// from inside the simulation, or poll done() from outside after run().
+class JoinHandle {
+ public:
+  JoinHandle() = default;
+  explicit JoinHandle(std::shared_ptr<JoinState> s) : state_(std::move(s)) {}
+
+  bool valid() const { return static_cast<bool>(state_); }
+  bool done() const { return state_ && state_->done; }
+
+  /// Rethrows the task's exception, if it ended with one.
+  void rethrow() const {
+    if (state_ && state_->exception) std::rethrow_exception(state_->exception);
+  }
+
+  Task<void> join(Engine& engine);
+
+ private:
+  std::shared_ptr<JoinState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+  double now_seconds() const { return to_seconds(now_); }
+
+  /// Enqueues a coroutine resumption at absolute time t (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  void schedule_after(SimTime dt, std::coroutine_handle<> h) {
+    schedule_at(now_ + dt, h);
+  }
+
+  /// Awaitable: suspends the current process for dt simulated time.
+  auto sleep(SimTime dt) { return SleepAwaiter{this, now_ + (dt < 0 ? 0 : dt)}; }
+  auto sleep_until(SimTime t) { return SleepAwaiter{this, t < now_ ? now_ : t}; }
+  auto sleep_seconds(double s) { return sleep(from_seconds(s)); }
+
+  /// Starts a detached process. Its frame self-destroys on completion; the
+  /// returned handle can be joined. The process begins running at the
+  /// current simulated time, once the event loop gets to it.
+  JoinHandle spawn(Task<void> task);
+
+  /// Runs until the event queue is empty or `until` (if nonnegative) is
+  /// reached. Returns the number of events processed.
+  std::uint64_t run(SimTime until = -1);
+
+  /// Number of spawned tasks that have not yet completed. A nonzero value
+  /// after run() means processes are blocked on events nobody will set.
+  std::size_t live_tasks() const { return live_tasks_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct SleepAwaiter {
+    Engine* engine;
+    SimTime wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      engine->schedule_at(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  friend class JoinHandle;
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_tasks_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace vmstorm::sim

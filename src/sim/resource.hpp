@@ -1,0 +1,69 @@
+// Rate-limited FIFO resources: the queueing building block for NICs and
+// disks.
+//
+// A FifoServer serializes requests: a request of n bytes arriving at time t
+// starts at max(t, busy_until) and holds the server for overhead + n/rate.
+// With chunk-sized requests this is a store-and-forward model — exactly the
+// granularity at which the paper's transfers contend (256 KB chunks).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace vmstorm::sim {
+
+class FifoServer {
+ public:
+  /// rate: bytes per second of service; fixed_overhead: per-request setup
+  /// time (e.g. protocol/latency overhead paid inside the server).
+  FifoServer(Engine& engine, BytesPerSecond rate, SimTime fixed_overhead = 0)
+      : engine_(&engine), rate_(rate), fixed_overhead_(fixed_overhead) {}
+
+  /// Serves a request of `bytes`; completes when the transfer would finish.
+  Task<void> serve(Bytes bytes) { return serve_with_overhead(bytes, fixed_overhead_); }
+
+  Task<void> serve_with_overhead(Bytes bytes, SimTime overhead) {
+    const SimTime arrival = engine_->now();
+    const SimTime start = busy_until_ > arrival ? busy_until_ : arrival;
+    const SimTime duration = overhead + service_time(bytes);
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    bytes_served_ += bytes;
+    ++requests_;
+    co_await engine_->sleep_until(busy_until_);
+  }
+
+  /// Service time for n bytes, excluding queueing and overhead.
+  SimTime service_time(Bytes bytes) const {
+    return rate_ > 0.0 ? from_seconds(static_cast<double>(bytes) / rate_) : 0;
+  }
+
+  /// Time at which the server becomes idle (>= now if busy).
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Queue delay a request arriving now would see before service begins.
+  SimTime backlog() const {
+    const SimTime now = engine_->now();
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+
+  BytesPerSecond rate() const { return rate_; }
+  Bytes bytes_served() const { return bytes_served_; }
+  std::uint64_t requests() const { return requests_; }
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  Engine* engine_;
+  BytesPerSecond rate_;
+  SimTime fixed_overhead_;
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+  Bytes bytes_served_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace vmstorm::sim

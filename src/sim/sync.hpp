@@ -1,0 +1,147 @@
+// Synchronization primitives for simulation processes.
+//
+// All primitives are single-threaded (the event loop is the only executor);
+// "blocking" means suspending the coroutine until another process schedules
+// it again via the engine queue. Wakeups are enqueued at the current
+// simulated time rather than resumed inline, keeping execution order
+// deterministic and re-entrancy-free.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace vmstorm::sim {
+
+/// One-shot broadcast event. set() wakes every current and future waiter.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_->schedule_after(0, h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup order.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial)
+      : engine_(&engine), count_(initial) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() {
+        if (sem->count_ > 0) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // The permit is handed directly to the woken waiter.
+      engine_->schedule_after(0, h);
+    } else {
+      ++count_;
+    }
+  }
+
+  std::size_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded single-direction channel of T. Multiple producers, multiple
+/// consumers (FIFO on both sides).
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->schedule_after(0, h);
+    }
+  }
+
+  /// Awaitable pop; suspends until an item is available.
+  Task<T> pop() {
+    struct Awaiter {
+      Channel* ch;
+      bool await_ready() const noexcept { return !ch->items_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    // Under multiple consumers a wakeup can race with another consumer; loop.
+    while (items_.empty()) co_await Awaiter{this};
+    T v = std::move(items_.front());
+    items_.pop_front();
+    co_return v;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Spawns all tasks and waits for every one to finish. Exceptions from
+/// children propagate (the first one encountered in join order).
+Task<void> when_all(Engine& engine, std::vector<Task<void>> tasks);
+
+/// Runs tasks with at most `limit` in flight at once (FIFO admission).
+Task<void> when_all_limited(Engine& engine, std::vector<Task<void>> tasks,
+                            std::size_t limit);
+
+}  // namespace vmstorm::sim

@@ -1,0 +1,105 @@
+#include "storage/disk.hpp"
+
+#include <cassert>
+
+namespace vmstorm::storage {
+
+Disk::Disk(sim::Engine& engine, DiskConfig cfg)
+    : engine_(&engine), cfg_(cfg),
+      platter_(engine, cfg.rate, cfg.seek_overhead) {}
+
+sim::Task<void> Disk::read(std::uint64_t key, Bytes bytes) {
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    // Cache hit: promote to MRU; memory-speed, no simulated delay.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    co_return;
+  }
+  co_await platter_.serve(bytes);
+  cache_insert(key, bytes);
+}
+
+sim::Task<void> Disk::read_uncached(Bytes bytes) {
+  co_await platter_.serve(bytes);
+}
+
+sim::Task<void> Disk::write_sync(Bytes bytes) {
+  co_await platter_.serve(bytes);
+}
+
+sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
+  // Block while admission would exceed the dirty budget (a write larger than
+  // the whole budget is admitted alone once the buffer drains).
+  struct Admission {
+    Disk* disk;
+    Bytes need;
+    bool await_ready() const {
+      return disk->dirty_bytes_ == 0 ||
+             disk->dirty_bytes_ + need <= disk->cfg_.dirty_limit;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      disk->dirty_waiters_.push_back({need, h});
+    }
+    void await_resume() const noexcept {}
+  };
+  while (dirty_bytes_ != 0 && dirty_bytes_ + bytes > cfg_.dirty_limit) {
+    co_await Admission{this, bytes};
+  }
+  dirty_bytes_ += bytes;
+  if (cache_key != 0) cache_insert(cache_key, bytes);
+  ++flushes_in_flight_;
+  engine_->spawn(flusher(bytes));
+}
+
+sim::Task<void> Disk::flusher(Bytes bytes) {
+  co_await platter_.serve(bytes);
+  assert(dirty_bytes_ >= bytes);
+  dirty_bytes_ -= bytes;
+  --flushes_in_flight_;
+  wake_dirty_waiters();
+  if (flushes_in_flight_ == 0) {
+    for (auto h : flush_waiters_) engine_->schedule_after(0, h);
+    flush_waiters_.clear();
+  }
+}
+
+void Disk::wake_dirty_waiters() {
+  // Admit waiters FIFO while the budget allows; they re-check on resume.
+  while (!dirty_waiters_.empty()) {
+    const DirtyWaiter& w = dirty_waiters_.front();
+    if (dirty_bytes_ != 0 && dirty_bytes_ + w.need > cfg_.dirty_limit) break;
+    engine_->schedule_after(0, w.handle);
+    dirty_waiters_.pop_front();
+  }
+}
+
+sim::Task<void> Disk::flush() {
+  struct FlushAwaiter {
+    Disk* disk;
+    bool await_ready() const { return disk->flushes_in_flight_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      disk->flush_waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  while (flushes_in_flight_ != 0) co_await FlushAwaiter{this};
+}
+
+void Disk::cache_insert(std::uint64_t key, Bytes bytes) {
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(key, bytes);
+  cache_map_[key] = cache_lru_.begin();
+  cache_bytes_ += bytes;
+  while (cache_bytes_ > cfg_.cache_capacity && !cache_lru_.empty()) {
+    auto& [old_key, old_bytes] = cache_lru_.back();
+    cache_bytes_ -= old_bytes;
+    cache_map_.erase(old_key);
+    cache_lru_.pop_back();
+  }
+}
+
+}  // namespace vmstorm::storage

@@ -1,0 +1,30 @@
+#include "vm/lifecycle.hpp"
+
+namespace vmstorm::vm {
+
+sim::Task<void> run_boot(sim::Engine& engine, VmDisk& disk,
+                         const BootTrace& trace, Rng rng, BootParams params,
+                         BootResult* result) {
+  co_await engine.sleep_seconds(rng.exponential(params.start_skew_seconds));
+  result->started = engine.now_seconds();
+  for (const BootOp& op : trace.ops()) {
+    switch (op.kind) {
+      case BootOp::Kind::kRead:
+        co_await disk.read(op.offset, op.length);
+        break;
+      case BootOp::Kind::kWrite:
+        co_await disk.write(op.offset, op.length);
+        break;
+      case BootOp::Kind::kCpu: {
+        const double jitter =
+            1.0 - params.cpu_jitter + 2.0 * params.cpu_jitter * rng.uniform_double();
+        co_await engine.sleep(
+            static_cast<sim::SimTime>(static_cast<double>(op.cpu) * jitter));
+        break;
+      }
+    }
+  }
+  result->finished = engine.now_seconds();
+}
+
+}  // namespace vmstorm::vm

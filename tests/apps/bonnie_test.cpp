@@ -1,0 +1,54 @@
+#include "apps/bonnie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmstorm::apps {
+namespace {
+
+BonnieConfig tiny() {
+  BonnieConfig cfg;
+  cfg.total = 2_MiB;
+  cfg.block = 8_KiB;
+  cfg.file_size = 1_MiB;
+  cfg.seek_ops = 100;
+  cfg.file_ops = 50;
+  return cfg;
+}
+
+TEST(Bonnie, RunsAllPhasesOnMemDevice) {
+  imgfs::MemDevice dev(16_MiB);
+  auto fs = imgfs::FileSystem::format(dev).value();
+  auto r = run_bonnie(*fs, tiny());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_GT(r->block_write_kbps, 0.0);
+  EXPECT_GT(r->block_read_kbps, 0.0);
+  EXPECT_GT(r->block_overwrite_kbps, 0.0);
+  EXPECT_GT(r->random_seeks_per_s, 0.0);
+  EXPECT_GT(r->creates_per_s, 0.0);
+  EXPECT_GT(r->deletes_per_s, 0.0);
+}
+
+TEST(Bonnie, LeavesDataFilesOnly) {
+  imgfs::MemDevice dev(16_MiB);
+  auto fs = imgfs::FileSystem::format(dev).value();
+  ASSERT_TRUE(run_bonnie(*fs, tiny()).is_ok());
+  // tmp.* files removed; bonnie.* data files remain.
+  for (const auto& f : fs->list()) {
+    EXPECT_EQ(f.name.rfind("bonnie.", 0), 0u) << f.name;
+  }
+  EXPECT_EQ(fs->list().size(), 2u);  // 2 MiB over 1 MiB files
+}
+
+TEST(Bonnie, ValidatesConfig) {
+  imgfs::MemDevice dev(16_MiB);
+  auto fs = imgfs::FileSystem::format(dev).value();
+  BonnieConfig bad = tiny();
+  bad.block = 0;
+  EXPECT_FALSE(run_bonnie(*fs, bad).is_ok());
+  bad = tiny();
+  bad.file_size = 1_KiB;  // smaller than block
+  EXPECT_FALSE(run_bonnie(*fs, bad).is_ok());
+}
+
+}  // namespace
+}  // namespace vmstorm::apps

@@ -1,0 +1,75 @@
+#include "apps/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmstorm::apps {
+namespace {
+
+TEST(MonteCarlo, EstimatesPi) {
+  EXPECT_NEAR(estimate_pi(200000, 7), 3.14159, 0.02);
+}
+
+TEST(MonteCarlo, TalliesMerge) {
+  PiTally total;
+  for (int w = 0; w < 8; ++w) total.add(sample_pi(50000, 100 + w));
+  EXPECT_NEAR(total.estimate(), 3.14159, 0.02);
+  EXPECT_EQ(total.samples, 400000u);
+}
+
+cloud::CloudConfig tiny_cloud() {
+  cloud::CloudConfig cfg;
+  cfg.image_size = 32_MiB;
+  cfg.broadcast.chunk_size = 1_MiB;
+  return cfg;
+}
+
+MonteCarloParams tiny_params() {
+  MonteCarloParams p;
+  p.workers = 3;
+  p.compute_seconds = 20.0;
+  p.state_bytes = 1_MiB;
+  p.steps = 4;
+  p.boot.image_size = 32_MiB;
+  p.boot.read_volume = 2_MiB;
+  p.boot.write_volume = 256_KiB;
+  p.boot.cpu_seconds = 1.0;
+  return p;
+}
+
+TEST(MonteCarlo, UninterruptedCompletesForAllStrategies) {
+  for (auto s : {cloud::Strategy::kPrepropagation, cloud::Strategy::kQcowOverPvfs,
+                 cloud::Strategy::kOurs}) {
+    auto out = run_montecarlo_uninterrupted(s, tiny_cloud(), tiny_params());
+    EXPECT_GT(out.completion_seconds, 20.0) << cloud::strategy_name(s);
+    EXPECT_GT(out.deploy_seconds, 0.0);
+  }
+}
+
+TEST(MonteCarlo, UninterruptedOursBeatsPrepropagation) {
+  auto ours = run_montecarlo_uninterrupted(cloud::Strategy::kOurs, tiny_cloud(),
+                                           tiny_params());
+  auto pre = run_montecarlo_uninterrupted(cloud::Strategy::kPrepropagation,
+                                          tiny_cloud(), tiny_params());
+  EXPECT_LT(ours.completion_seconds, pre.completion_seconds);
+}
+
+TEST(MonteCarlo, SuspendResumeCompletes) {
+  auto out = run_montecarlo_suspend_resume(cloud::Strategy::kOurs, tiny_cloud(),
+                                           tiny_params());
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_GT(out->snapshot_seconds, 0.0);
+  EXPECT_GT(out->resume_seconds, 0.0);
+  // Suspend/resume costs more than uninterrupted.
+  auto base = run_montecarlo_uninterrupted(cloud::Strategy::kOurs, tiny_cloud(),
+                                           tiny_params());
+  EXPECT_GT(out->completion_seconds, base.completion_seconds);
+}
+
+TEST(MonteCarlo, SuspendResumeRejectsPrepropagation) {
+  EXPECT_FALSE(run_montecarlo_suspend_resume(cloud::Strategy::kPrepropagation,
+                                             tiny_cloud(), tiny_params())
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace vmstorm::apps

@@ -1,0 +1,124 @@
+#include "apps/repo_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "blob/chunk.hpp"
+
+namespace vmstorm::apps {
+namespace {
+
+struct CliFixture : ::testing::Test {
+  std::string repo;
+  int counter = 0;
+
+  void SetUp() override {
+    repo = ::testing::TempDir() + "/cli_repo_" + std::to_string(::getpid()) +
+           ".bin";
+    auto r = run_repo_cli({"init", repo, "--providers", "4"});
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  }
+  void TearDown() override { std::remove(repo.c_str()); }
+
+  std::string make_file(std::size_t size, std::uint64_t seed) {
+    std::string path = ::testing::TempDir() + "/cli_file_" +
+                       std::to_string(::getpid()) + "_" +
+                       std::to_string(counter++) + ".bin";
+    std::ofstream out(path, std::ios::binary);
+    for (std::size_t i = 0; i < size; ++i) {
+      out.put(static_cast<char>(blob::pattern_byte(seed, i)));
+    }
+    return path;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+};
+
+TEST_F(CliFixture, UploadDownloadRoundTrip) {
+  const std::string src = make_file(10000, 7);
+  auto up = run_repo_cli({"upload", repo, src});
+  ASSERT_TRUE(up.is_ok()) << up.status().to_string();
+  EXPECT_NE(up->find("blob 1 version 1"), std::string::npos);
+
+  const std::string dst = src + ".out";
+  auto down = run_repo_cli({"download", repo, "1", "1", dst});
+  ASSERT_TRUE(down.is_ok()) << down.status().to_string();
+  EXPECT_EQ(slurp(src), slurp(dst));
+  std::remove(src.c_str());
+  std::remove(dst.c_str());
+}
+
+TEST_F(CliFixture, LsAndStat) {
+  const std::string src = make_file(5000, 1);
+  ASSERT_TRUE(run_repo_cli({"upload", repo, src, "--chunk", "1K"}).is_ok());
+  auto ls = run_repo_cli({"ls", repo});
+  ASSERT_TRUE(ls.is_ok());
+  EXPECT_NE(ls->find("1 blob(s)"), std::string::npos);
+  auto stat = run_repo_cli({"stat", repo, "1"});
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_NE(stat->find("5 chunks"), std::string::npos);
+  std::remove(src.c_str());
+}
+
+TEST_F(CliFixture, CloneAndPatchDiverge) {
+  const std::string src = make_file(4096, 1);
+  ASSERT_TRUE(run_repo_cli({"upload", repo, src, "--chunk", "1K"}).is_ok());
+  auto clone = run_repo_cli({"clone", repo, "1", "1"});
+  ASSERT_TRUE(clone.is_ok());
+  EXPECT_NE(clone->find("as blob 2"), std::string::npos);
+
+  const std::string patch = make_file(100, 9);
+  auto patched = run_repo_cli({"patch", repo, "2", "500", patch});
+  ASSERT_TRUE(patched.is_ok()) << patched.status().to_string();
+  EXPECT_NE(patched->find("new version 1"), std::string::npos);
+
+  // Original blob unchanged; clone shows the patch.
+  const std::string d1 = src + ".orig", d2 = src + ".clone";
+  ASSERT_TRUE(run_repo_cli({"download", repo, "1", "1", d1}).is_ok());
+  ASSERT_TRUE(run_repo_cli({"download", repo, "2", "1", d2}).is_ok());
+  EXPECT_EQ(slurp(d1), slurp(src));
+  std::string clone_data = slurp(d2);
+  EXPECT_NE(clone_data, slurp(src));
+  EXPECT_EQ(clone_data.substr(0, 500), slurp(src).substr(0, 500));
+  for (const auto& f : {src, patch, d1, d2}) std::remove(f.c_str());
+}
+
+TEST_F(CliFixture, ErrorsAreReported) {
+  EXPECT_FALSE(run_repo_cli({}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"frobnicate", repo}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"ls"}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"ls", "/nonexistent/repo.bin"}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"stat", repo, "999"}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"upload", repo, "/nonexistent/file"}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"upload", repo, "--chunk"}).is_ok());
+  EXPECT_FALSE(run_repo_cli({"download", repo, "1", "9", "/tmp/x"}).is_ok());
+}
+
+TEST(CliParse, Sizes) {
+  EXPECT_EQ(parse_size("1024").value(), 1024u);
+  EXPECT_EQ(parse_size("256K").value(), 256_KiB);
+  EXPECT_EQ(parse_size("4m").value(), 4_MiB);
+  EXPECT_EQ(parse_size("2G").value(), 2_GiB);
+  EXPECT_FALSE(parse_size("").is_ok());
+  EXPECT_FALSE(parse_size("abc").is_ok());
+  EXPECT_FALSE(parse_size("5X").is_ok());
+  EXPECT_FALSE(parse_size("5KB").is_ok());
+}
+
+TEST(CliInit, DedupAndReplicationFlags) {
+  const std::string repo = ::testing::TempDir() + "/cli_repo_flags.bin";
+  auto r = run_repo_cli(
+      {"init", repo, "--providers", "3", "--replication", "2", "--dedup"});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NE(r->find("replication 2"), std::string::npos);
+  EXPECT_NE(r->find("dedup on"), std::string::npos);
+  std::remove(repo.c_str());
+}
+
+}  // namespace
+}  // namespace vmstorm::apps

@@ -1,0 +1,138 @@
+#include "bcast/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace vmstorm::bcast {
+namespace {
+
+using sim::Engine;
+
+struct Rig {
+  Engine engine;
+  net::Network network;
+  std::unique_ptr<storage::Disk> source_disk;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::vector<net::NodeId> targets;
+  std::vector<storage::Disk*> target_disks;
+  net::NodeId source;
+
+  explicit Rig(std::size_t n) : network(engine, n + 1, net_cfg()) {
+    source = 0;
+    source_disk = std::make_unique<storage::Disk>(engine, disk_cfg());
+    for (std::size_t i = 0; i < n; ++i) {
+      targets.push_back(static_cast<net::NodeId>(i + 1));
+      disks.push_back(std::make_unique<storage::Disk>(engine, disk_cfg()));
+      target_disks.push_back(disks.back().get());
+    }
+  }
+
+  static net::NetworkConfig net_cfg() {
+    net::NetworkConfig cfg;
+    cfg.link_rate = 1e6;  // 1 MB/s links
+    cfg.latency = sim::from_micros(10);
+    cfg.per_message_overhead = 0;
+    cfg.per_message_cpu = 0;
+    cfg.connection_setup = 0;
+    return cfg;
+  }
+  static storage::DiskConfig disk_cfg() {
+    storage::DiskConfig cfg;
+    cfg.rate = 1e7;  // fast disks: network-dominated
+    cfg.seek_overhead = 0;
+    return cfg;
+  }
+
+  BroadcastResult run(Bytes total, BroadcastConfig cfg) {
+    BroadcastResult r;
+    engine.spawn(broadcast(engine, network, source, *source_disk, targets,
+                           target_disks, total, cfg, &r));
+    engine.run();
+    EXPECT_EQ(engine.live_tasks(), 0u);
+    return r;
+  }
+};
+
+BroadcastConfig sf_config(BytesPerSecond hop_rate = 1e5) {
+  BroadcastConfig cfg;
+  cfg.chunk_size = 10000;
+  cfg.discipline = Discipline::kStoreAndForward;
+  cfg.hop_rate = hop_rate;
+  return cfg;
+}
+
+TEST(Broadcast, SingleTargetTakesOneFileTime) {
+  Rig rig(1);
+  auto r = rig.run(100000, sf_config(1e5));  // 100 KB at 100 KB/s -> ~1 s
+  EXPECT_NEAR(r.completion_seconds, 1.0, 0.2);
+  ASSERT_EQ(r.per_target_seconds.size(), 1u);
+}
+
+TEST(Broadcast, StoreAndForwardScalesLogarithmically) {
+  // Binomial dissemination: rounds = ceil(log2(n+1)).
+  Rig rig7(7);
+  auto r7 = rig7.run(100000, sf_config(1e5));
+  EXPECT_NEAR(r7.completion_seconds, 3.0, 0.5);  // 7 targets -> 3 rounds
+
+  Rig rig15(15);
+  auto r15 = rig15.run(100000, sf_config(1e5));
+  EXPECT_NEAR(r15.completion_seconds, 4.0, 0.6);  // 15 targets -> 4 rounds
+}
+
+TEST(Broadcast, EveryTargetReceivesWholeFile) {
+  Rig rig(9);
+  const Bytes total = 50000;
+  auto r = rig.run(total, sf_config(1e5));
+  ASSERT_EQ(r.per_target_seconds.size(), 9u);
+  for (double t : r.per_target_seconds) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, r.completion_seconds);
+  }
+  // Traffic: one full copy per target (plus no protocol overhead here).
+  EXPECT_EQ(rig.network.total_payload(), total * 9);
+}
+
+TEST(Broadcast, PipelinedBeatsStoreAndForward) {
+  BroadcastConfig pipe;
+  pipe.chunk_size = 10000;
+  pipe.discipline = Discipline::kPipelined;
+  pipe.hop_rate = 1e5;
+  pipe.arity = 2;
+  Rig a(15), b(15);
+  auto rp = a.run(200000, pipe);
+  auto rs = b.run(200000, sf_config(1e5));
+  EXPECT_LT(rp.completion_seconds, rs.completion_seconds);
+}
+
+TEST(Broadcast, PipelinedDeliversAll) {
+  BroadcastConfig pipe;
+  pipe.chunk_size = 5000;
+  pipe.discipline = Discipline::kPipelined;
+  pipe.hop_rate = 1e5;
+  pipe.arity = 3;
+  Rig rig(10);
+  auto r = rig.run(50000, pipe);
+  for (double t : r.per_target_seconds) EXPECT_GT(t, 0.0);
+  EXPECT_EQ(rig.network.total_payload(), 50000u * 10);
+}
+
+TEST(Broadcast, NoTargetsIsInstant) {
+  Rig rig(0);
+  auto r = rig.run(100000, sf_config());
+  EXPECT_EQ(r.completion_seconds, 0.0);
+  EXPECT_TRUE(r.per_target_seconds.empty());
+}
+
+TEST(Broadcast, TrafficLinearInTargets) {
+  // Fig. 4(d)'s prepropagation line: traffic = n copies of the image.
+  for (std::size_t n : {2u, 4u, 8u}) {
+    Rig rig(n);
+    rig.run(30000, sf_config());
+    EXPECT_EQ(rig.network.total_payload(), 30000u * n);
+  }
+}
+
+}  // namespace
+}  // namespace vmstorm::bcast

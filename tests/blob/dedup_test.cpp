@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "blob/store.hpp"
+
+namespace vmstorm::blob {
+namespace {
+
+StoreConfig dedup_cfg() {
+  StoreConfig cfg;
+  cfg.providers = 4;
+  cfg.dedup = true;
+  return cfg;
+}
+
+TEST(Dedup, IdenticalPayloadsStoredOnce) {
+  BlobStore s(dedup_cfg());
+  BlobId a = s.create(4096, 1024).value();
+  BlobId b = s.create(4096, 1024).value();
+  std::vector<ChunkWrite> w1, w2;
+  w1.push_back({0, ChunkPayload::pattern(7, 1024, 0)});
+  w2.push_back({2, ChunkPayload::pattern(7, 1024, 0)});  // same content
+  ASSERT_TRUE(s.commit_chunks(a, 0, std::move(w1)).is_ok());
+  auto out = s.commit_chunks_detailed(b, 0, std::move(w2));
+  ASSERT_TRUE(out.is_ok());
+  ASSERT_EQ(out->deduplicated.size(), 1u);
+  EXPECT_TRUE(out->deduplicated[0]);
+  EXPECT_EQ(s.stored_bytes(), 1024u);
+  EXPECT_EQ(s.dedup_hits(), 1u);
+  EXPECT_EQ(s.dedup_saved_bytes(), 1024u);
+}
+
+TEST(Dedup, DifferentContentNotDeduplicated) {
+  BlobStore s(dedup_cfg());
+  BlobId a = s.create(4096, 1024).value();
+  std::vector<ChunkWrite> w;
+  w.push_back({0, ChunkPayload::pattern(7, 1024, 0)});
+  w.push_back({1, ChunkPayload::pattern(8, 1024, 0)});
+  auto out = s.commit_chunks_detailed(a, 0, std::move(w));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out->deduplicated[0]);
+  EXPECT_FALSE(out->deduplicated[1]);
+  EXPECT_EQ(s.stored_bytes(), 2048u);
+  EXPECT_EQ(s.dedup_hits(), 0u);
+}
+
+TEST(Dedup, RepresentationIndependent) {
+  // Owned bytes vs. synthetic pattern with equal content must collide.
+  BlobStore s(dedup_cfg());
+  BlobId a = s.create(4096, 1024).value();
+  std::vector<std::byte> raw(1024);
+  for (std::size_t i = 0; i < raw.size(); ++i) raw[i] = pattern_byte(7, i);
+  std::vector<ChunkWrite> w;
+  w.push_back({0, ChunkPayload::pattern(7, 1024, 0)});
+  w.push_back({1, ChunkPayload::own(raw)});
+  auto out = s.commit_chunks_detailed(a, 0, std::move(w));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out->deduplicated[0]);
+  EXPECT_TRUE(out->deduplicated[1]);
+  EXPECT_EQ(s.stored_bytes(), 1024u);
+}
+
+TEST(Dedup, DedupedChunkReadsCorrectly) {
+  BlobStore s(dedup_cfg());
+  BlobId a = s.create(4096, 1024).value();
+  std::vector<ChunkWrite> w;
+  w.push_back({0, ChunkPayload::pattern(7, 1024, 0)});
+  w.push_back({3, ChunkPayload::pattern(7, 1024, 0)});
+  ASSERT_TRUE(s.commit_chunks(a, 0, std::move(w)).is_ok());
+  std::vector<std::byte> out(1024);
+  ASSERT_TRUE(s.read(a, 1, 3 * 1024, out).is_ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], pattern_byte(7, i));
+  }
+}
+
+TEST(Dedup, DisabledByDefault) {
+  BlobStore s(StoreConfig{.providers = 2});
+  BlobId a = s.create(4096, 1024).value();
+  std::vector<ChunkWrite> w;
+  w.push_back({0, ChunkPayload::pattern(7, 1024, 0)});
+  w.push_back({1, ChunkPayload::pattern(7, 1024, 0)});
+  ASSERT_TRUE(s.commit_chunks(a, 0, std::move(w)).is_ok());
+  EXPECT_EQ(s.stored_bytes(), 2048u);
+  EXPECT_EQ(s.dedup_hits(), 0u);
+}
+
+TEST(Dedup, SizeMismatchNeverDeduplicates) {
+  BlobStore s(dedup_cfg());
+  BlobId a = s.create(4096, 1024).value();
+  std::vector<ChunkWrite> w1;
+  w1.push_back({3, ChunkPayload::pattern(7, 1000, 3 * 1024)});  // short tail-ish
+  ASSERT_TRUE(s.commit_chunks(a, 0, std::move(w1)).is_ok());
+  std::vector<ChunkWrite> w2;
+  w2.push_back({0, ChunkPayload::pattern(7, 1024, 3 * 1024)});
+  auto out = s.commit_chunks_detailed(a, 1, std::move(w2));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out->deduplicated[0]);
+}
+
+TEST(ChunkPayloadHash, EqualContentEqualHash) {
+  auto a = ChunkPayload::pattern(5, 4096, 100);
+  std::vector<std::byte> raw(4096);
+  a.read(0, raw);
+  auto b = ChunkPayload::own(raw);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  auto c = ChunkPayload::pattern(6, 4096, 100);
+  EXPECT_NE(a.content_hash(), c.content_hash());
+  EXPECT_EQ(ChunkPayload::zeros(16).content_hash(),
+            ChunkPayload::own(std::vector<std::byte>(16)).content_hash());
+}
+
+}  // namespace
+}  // namespace vmstorm::blob

@@ -1,0 +1,155 @@
+#include "blob/persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vmstorm::blob {
+namespace {
+
+std::vector<std::byte> make_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = pattern_byte(seed, i);
+  return v;
+}
+
+std::unique_ptr<BlobStore> round_trip(const BlobStore& store) {
+  std::stringstream ss;
+  EXPECT_TRUE(save_store(store, ss).is_ok());
+  auto loaded = load_store(ss);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  return std::move(loaded).value();
+}
+
+TEST(Persist, EmptyStoreRoundTrips) {
+  BlobStore store(StoreConfig{.providers = 3});
+  auto loaded = round_trip(store);
+  EXPECT_EQ(loaded->blob_count(), 0u);
+  EXPECT_EQ(loaded->config().providers, 3u);
+  EXPECT_EQ(loaded->stored_bytes(), 0u);
+}
+
+TEST(Persist, ContentAndVersionsSurvive) {
+  BlobStore store(StoreConfig{.providers = 4});
+  BlobId a = store.create(16_KiB, 1_KiB).value();
+  ASSERT_TRUE(store.write_pattern(a, 0, 0, 16_KiB, 7).is_ok());
+  auto data = make_bytes(3000, 9);
+  ASSERT_TRUE(store.write(a, 1, 5000, data).is_ok());
+  BlobId b = store.clone(a, 2).value();
+  ASSERT_TRUE(store.write(b, 0, 0, make_bytes(1024, 11)).is_ok());
+
+  auto loaded = round_trip(store);
+  EXPECT_EQ(loaded->blob_count(), 2u);
+  EXPECT_EQ(loaded->info(a)->latest, 2u);
+  EXPECT_EQ(loaded->info(b)->latest, 1u);
+  EXPECT_EQ(loaded->stored_bytes(), store.stored_bytes());
+
+  // Every version of every blob reads identically.
+  for (BlobId id : {a, b}) {
+    for (Version v = 0; v <= loaded->info(id)->latest; ++v) {
+      std::vector<std::byte> want(16_KiB), got(16_KiB);
+      ASSERT_TRUE(store.read(id, v, 0, want).is_ok());
+      ASSERT_TRUE(loaded->read(id, v, 0, got).is_ok());
+      ASSERT_EQ(got, want) << "blob " << id << " v" << v;
+    }
+  }
+}
+
+TEST(Persist, StoreRemainsWritableAfterLoad) {
+  BlobStore store(StoreConfig{.providers = 2});
+  BlobId a = store.create(8_KiB, 1_KiB).value();
+  ASSERT_TRUE(store.write_pattern(a, 0, 0, 8_KiB, 1).is_ok());
+  auto loaded = round_trip(store);
+
+  // New blobs get fresh ids; commits continue the version chain.
+  BlobId b = loaded->create(4_KiB, 1_KiB).value();
+  EXPECT_GT(b, a);
+  auto v = loaded->write(a, 1, 0, make_bytes(512, 2));
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v, 2u);
+  std::vector<std::byte> got(512);
+  ASSERT_TRUE(loaded->read(a, 2, 0, got).is_ok());
+  EXPECT_EQ(got, make_bytes(512, 2));
+  // Old version untouched.
+  ASSERT_TRUE(loaded->read(a, 1, 0, got).is_ok());
+  EXPECT_EQ(got, make_bytes(512, 1));
+}
+
+TEST(Persist, SyntheticPayloadsStayCompact) {
+  BlobStore store(StoreConfig{.providers = 4});
+  BlobId a = store.create(1_GiB, 256_KiB).value();
+  ASSERT_TRUE(store.write_pattern(a, 0, 0, 1_GiB, 5).is_ok());
+  std::stringstream ss;
+  ASSERT_TRUE(save_store(store, ss).is_ok());
+  // A 1 GiB synthetic image serializes to descriptors, not content.
+  EXPECT_LT(ss.str().size(), 4_MiB);
+  auto loaded = load_store(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  std::vector<std::byte> got(4096);
+  ASSERT_TRUE((*loaded)->read(a, 1, 512_MiB, got).is_ok());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], pattern_byte(5, 512_MiB + i));
+  }
+}
+
+TEST(Persist, ReplicationAndDedupStateSurvive) {
+  BlobStore store(StoreConfig{.providers = 3, .replication = 2, .dedup = true});
+  BlobId a = store.create(4_KiB, 1_KiB).value();
+  std::vector<ChunkWrite> w;
+  w.push_back({0, ChunkPayload::pattern(7, 1_KiB, 0)});
+  ASSERT_TRUE(store.commit_chunks(a, 0, std::move(w)).is_ok());
+
+  auto loaded = round_trip(store);
+  EXPECT_EQ(loaded->config().replication, 2u);
+  EXPECT_TRUE(loaded->config().dedup);
+  // The dedup index survived: identical content still dedupes.
+  std::vector<ChunkWrite> w2;
+  w2.push_back({2, ChunkPayload::pattern(7, 1_KiB, 0)});
+  auto out = loaded->commit_chunks_detailed(a, 1, std::move(w2));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_TRUE(out->deduplicated[0]);
+  // Replicas survived: dropping the primary still reads.
+  auto locs = loaded->locate(a, 1, ByteRange{0, 1_KiB}).value();
+  ASSERT_TRUE(loaded->drop_replica(locs[0].key, locs[0].provider).is_ok());
+  std::vector<std::byte> got(1_KiB);
+  ASSERT_TRUE(loaded->read(a, 1, 0, got).is_ok());
+}
+
+TEST(Persist, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vmstorm_repo.bin";
+  {
+    BlobStore store(StoreConfig{.providers = 2});
+    BlobId a = store.create(4_KiB, 1_KiB).value();
+    ASSERT_TRUE(store.write(a, 0, 100, make_bytes(2000, 3)).is_ok());
+    ASSERT_TRUE(save_store_file(store, path).is_ok());
+  }
+  auto loaded = load_store_file(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  std::vector<std::byte> got(2000);
+  ASSERT_TRUE((*loaded)->read(1, 1, 100, got).is_ok());
+  EXPECT_EQ(got, make_bytes(2000, 3));
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsGarbageAndTruncation) {
+  {
+    std::stringstream ss;
+    ss << "not a repository";
+    EXPECT_FALSE(load_store(ss).is_ok());
+  }
+  BlobStore store(StoreConfig{.providers = 2});
+  BlobId a = store.create(4_KiB, 1_KiB).value();
+  ASSERT_TRUE(store.write_pattern(a, 0, 0, 4_KiB, 1).is_ok());
+  std::stringstream ss;
+  ASSERT_TRUE(save_store(store, ss).is_ok());
+  const std::string full = ss.str();
+  for (std::size_t cut : {16u, 64u, 200u}) {
+    if (cut >= full.size()) continue;
+    std::stringstream truncated(full.substr(0, full.size() - cut));
+    EXPECT_FALSE(load_store(truncated).is_ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(load_store_file("/nonexistent/repo.bin").is_ok());
+}
+
+}  // namespace
+}  // namespace vmstorm::blob

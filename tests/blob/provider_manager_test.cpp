@@ -1,0 +1,88 @@
+#include "blob/provider_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace vmstorm::blob {
+namespace {
+
+TEST(ProviderManager, RoundRobinCyclesEvenly) {
+  ProviderManager pm(4, AllocationPolicy::kRoundRobin);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(pm.allocate(100), static_cast<ProviderId>(i % 4));
+  }
+  for (ProviderId p = 0; p < 4; ++p) {
+    EXPECT_EQ(pm.load(p), 300u);
+    EXPECT_EQ(pm.chunks_on(p), 3u);
+  }
+  EXPECT_DOUBLE_EQ(pm.imbalance(), 1.0);
+}
+
+TEST(ProviderManager, LeastLoadedBalancesUnevenSizes) {
+  ProviderManager pm(2, AllocationPolicy::kLeastLoaded);
+  EXPECT_EQ(pm.allocate(1000), 0u);
+  // Provider 0 now has load; next goes to 1 even for a small chunk.
+  EXPECT_EQ(pm.allocate(10), 1u);
+  // 1 is lighter, keeps receiving until it catches up.
+  EXPECT_EQ(pm.allocate(10), 1u);
+  EXPECT_EQ(pm.allocate(10), 1u);
+}
+
+TEST(ProviderManager, RandomIsDeterministicPerSeed) {
+  ProviderManager a(8, AllocationPolicy::kRandom, 5);
+  ProviderManager b(8, AllocationPolicy::kRandom, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.allocate(1), b.allocate(1));
+}
+
+TEST(ProviderManager, ReplicasAreDistinct) {
+  for (auto policy : {AllocationPolicy::kRoundRobin,
+                      AllocationPolicy::kLeastLoaded, AllocationPolicy::kRandom}) {
+    ProviderManager pm(5, policy, 9);
+    for (int i = 0; i < 20; ++i) {
+      auto reps = pm.allocate_replicas(64, 3);
+      ASSERT_EQ(reps.size(), 3u);
+      std::set<ProviderId> uniq(reps.begin(), reps.end());
+      EXPECT_EQ(uniq.size(), 3u);
+    }
+  }
+}
+
+TEST(ProviderManager, ReplicasClampedToPoolSize) {
+  ProviderManager pm(2, AllocationPolicy::kRoundRobin);
+  auto reps = pm.allocate_replicas(10, 5);
+  EXPECT_EQ(reps.size(), 2u);
+}
+
+TEST(ProviderManager, ZeroReplicasMeansOne) {
+  ProviderManager pm(3, AllocationPolicy::kRoundRobin);
+  EXPECT_EQ(pm.allocate_replicas(10, 0).size(), 1u);
+}
+
+TEST(ProviderManager, AddProviderJoinsPool) {
+  ProviderManager pm(1, AllocationPolicy::kLeastLoaded);
+  pm.allocate(100);
+  ProviderId p = pm.add_provider();
+  EXPECT_EQ(p, 1u);
+  EXPECT_EQ(pm.provider_count(), 2u);
+  EXPECT_EQ(pm.allocate(10), 1u);  // new empty provider attracts load
+}
+
+TEST(ProviderManager, ImbalanceDetectsSkew) {
+  ProviderManager pm(2, AllocationPolicy::kRoundRobin);
+  pm.allocate(1000);  // provider 0
+  pm.allocate(0);     // provider 1
+  EXPECT_DOUBLE_EQ(pm.imbalance(), 2.0);  // all load on one of two
+}
+
+TEST(ProviderManager, StripingAnImageIsEven) {
+  // 2 GiB image at 256 KiB chunks over 110 providers: max/mean ~ 1.
+  ProviderManager pm(110, AllocationPolicy::kRoundRobin);
+  const std::size_t chunks = (2_GiB) / (256_KiB);
+  for (std::size_t i = 0; i < chunks; ++i) pm.allocate(256_KiB);
+  EXPECT_LT(pm.imbalance(), 1.02);
+}
+
+}  // namespace
+}  // namespace vmstorm::blob

@@ -1,0 +1,213 @@
+#include "blob/segment_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vmstorm::blob {
+namespace {
+
+std::vector<ChunkLocation> locate_all(const SegmentTreeArena& a, NodeRef root) {
+  std::vector<ChunkLocation> out;
+  a.locate(root, 0, a.chunk_count(root), &out);
+  return out;
+}
+
+TEST(SegmentTree, BuildEmptyCoversAllChunksAsHoles) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(10);
+  auto locs = locate_all(a, root);
+  ASSERT_EQ(locs.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(locs[i].chunk_index, i);
+    EXPECT_TRUE(locs[i].is_hole());
+  }
+}
+
+TEST(SegmentTree, SingleChunkTree) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(1);
+  EXPECT_EQ(a.depth(root), 1u);
+  EXPECT_EQ(a.chunk_count(root), 1u);
+}
+
+TEST(SegmentTree, DepthIsLogarithmic) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(8192);  // 2 GiB / 256 KiB
+  EXPECT_EQ(a.depth(root), 14u);       // ceil(log2(8192)) + 1
+}
+
+TEST(SegmentTree, NonPowerOfTwoChunkCount) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(1000);
+  auto locs = locate_all(a, root);
+  ASSERT_EQ(locs.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(locs[i].chunk_index, i);
+}
+
+TEST(SegmentTree, CommitReplacesOnlyTargetLeaves) {
+  SegmentTreeArena a;
+  NodeRef v1 = a.build_empty(8);
+  std::map<std::uint64_t, ChunkLocation> updates;
+  updates[3] = ChunkLocation{3, 1, 100};
+  updates[5] = ChunkLocation{5, 2, 101};
+  NodeRef v2 = a.commit(v1, updates);
+
+  auto locs1 = locate_all(a, v1);
+  auto locs2 = locate_all(a, v2);
+  // Old snapshot untouched (shadowing): still all holes.
+  for (auto& l : locs1) EXPECT_TRUE(l.is_hole());
+  // New snapshot sees the updates and shares the rest.
+  EXPECT_EQ(locs2[3].key, 100u);
+  EXPECT_EQ(locs2[3].provider, 1u);
+  EXPECT_EQ(locs2[5].key, 101u);
+  for (std::size_t i : {0u, 1u, 2u, 4u, 6u, 7u}) {
+    EXPECT_TRUE(locs2[i].is_hole());
+  }
+}
+
+TEST(SegmentTree, CommitAllocatesOnlyPathNodes) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(1024);
+  const std::size_t before = a.node_count();
+  std::map<std::uint64_t, ChunkLocation> updates;
+  updates[512] = ChunkLocation{512, 0, 1};
+  a.commit(root, updates);
+  const std::size_t added = a.node_count() - before;
+  // One root-to-leaf path: depth(1024) = 11 nodes.
+  EXPECT_EQ(added, a.depth(root));
+}
+
+TEST(SegmentTree, CommitOfKChunksAllocatesAtMostKLogN) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(8192);
+  const std::size_t before = a.node_count();
+  std::map<std::uint64_t, ChunkLocation> updates;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    updates[i * 128] = ChunkLocation{i * 128, 0, i + 1};
+  }
+  a.commit(root, updates);
+  const std::size_t added = a.node_count() - before;
+  EXPECT_LE(added, 64 * a.depth(root));
+  EXPECT_LT(added, 2 * 8192u);  // decisively cheaper than a full rebuild
+}
+
+TEST(SegmentTree, EmptyCommitSharesRoot) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(16);
+  EXPECT_EQ(a.commit(root, {}), root);
+}
+
+TEST(SegmentTree, CloneIsOneNode) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(1024);
+  const std::size_t before = a.node_count();
+  NodeRef cl = a.clone(root);
+  EXPECT_EQ(a.node_count() - before, 1u);
+  EXPECT_NE(cl, root);
+  // Clone reads identically.
+  EXPECT_EQ(locate_all(a, cl).size(), 1024u);
+}
+
+TEST(SegmentTree, CloneDivergesWithoutTouchingOriginal) {
+  SegmentTreeArena a;
+  NodeRef orig = a.build_empty(8);
+  std::map<std::uint64_t, ChunkLocation> u1;
+  u1[2] = ChunkLocation{2, 0, 50};
+  NodeRef orig_v2 = a.commit(orig, u1);
+
+  NodeRef cl = a.clone(orig_v2);
+  std::map<std::uint64_t, ChunkLocation> u2;
+  u2[2] = ChunkLocation{2, 0, 99};
+  u2[7] = ChunkLocation{7, 0, 77};
+  NodeRef cl_v2 = a.commit(cl, u2);
+
+  EXPECT_EQ(locate_all(a, orig_v2)[2].key, 50u);
+  EXPECT_TRUE(locate_all(a, orig_v2)[7].is_hole());
+  EXPECT_EQ(locate_all(a, cl_v2)[2].key, 99u);
+  EXPECT_EQ(locate_all(a, cl_v2)[7].key, 77u);
+  // Fig 3(c): the clone's unmodified subtrees are still shared.
+  EXPECT_EQ(locate_all(a, cl_v2)[0], locate_all(a, orig_v2)[0]);
+}
+
+TEST(SegmentTree, LocateRangeSubset) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(100);
+  std::vector<ChunkLocation> out;
+  a.locate(root, 30, 40, &out);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().chunk_index, 30u);
+  EXPECT_EQ(out.back().chunk_index, 39u);
+}
+
+TEST(SegmentTree, LocateOneWalksToLeaf) {
+  SegmentTreeArena a;
+  NodeRef root = a.build_empty(73);
+  std::map<std::uint64_t, ChunkLocation> u;
+  u[41] = ChunkLocation{41, 3, 7};
+  NodeRef v2 = a.commit(root, u);
+  EXPECT_EQ(a.locate_one(v2, 41).key, 7u);
+  EXPECT_EQ(a.locate_one(v2, 41).provider, 3u);
+  EXPECT_TRUE(a.locate_one(v2, 40).is_hole());
+}
+
+// Property: a random chain of commits and clones always reads back exactly
+// what a flat reference map says, and old versions never change.
+class SegmentTreePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegmentTreePropertyTest, RandomHistoryMatchesReference) {
+  Rng rng(GetParam());
+  SegmentTreeArena a;
+  constexpr std::uint64_t kChunks = 200;
+
+  struct Snapshot {
+    NodeRef root;
+    std::map<std::uint64_t, ChunkKey> expect;  // chunk -> key (absent = hole)
+  };
+  std::vector<Snapshot> snaps;
+  snaps.push_back({a.build_empty(kChunks), {}});
+  ChunkKey next_key = 1;
+
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t base = rng.uniform_u64(snaps.size());
+    Snapshot next = snaps[base];
+    if (rng.bernoulli(0.25)) {
+      next.root = a.clone(snaps[base].root);
+    } else {
+      std::map<std::uint64_t, ChunkLocation> updates;
+      const int k = 1 + static_cast<int>(rng.uniform_u64(10));
+      for (int i = 0; i < k; ++i) {
+        std::uint64_t ci = rng.uniform_u64(kChunks);
+        ChunkKey key = next_key++;
+        updates[ci] = ChunkLocation{ci, 0, key};
+        next.expect[ci] = key;
+      }
+      next.root = a.commit(snaps[base].root, updates);
+    }
+    snaps.push_back(std::move(next));
+
+    // Verify every snapshot so far still reads exactly its reference.
+    for (const Snapshot& s : snaps) {
+      auto locs = locate_all(a, s.root);
+      ASSERT_EQ(locs.size(), kChunks);
+      for (std::uint64_t ci = 0; ci < kChunks; ++ci) {
+        auto it = s.expect.find(ci);
+        if (it == s.expect.end()) {
+          ASSERT_TRUE(locs[ci].is_hole());
+        } else {
+          ASSERT_EQ(locs[ci].key, it->second);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentTreePropertyTest,
+                         ::testing::Values(1u, 7u, 2011u, 31337u));
+
+}  // namespace
+}  // namespace vmstorm::blob

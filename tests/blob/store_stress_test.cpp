@@ -1,0 +1,154 @@
+// Stress/property tests for the blob store: long random histories checked
+// against a flat reference model, thread-safety hammering, and metadata
+// growth bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "blob/store.hpp"
+#include "common/rng.hpp"
+
+namespace vmstorm::blob {
+namespace {
+
+// Property: arbitrary interleavings of create/write/clone across many blobs
+// always read back exactly what a byte-level reference model predicts, at
+// EVERY version ever published.
+class StoreHistoryTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreHistoryTest, RandomHistoryMatchesReference) {
+  Rng rng(GetParam());
+  BlobStore store(StoreConfig{.providers = 3});
+  constexpr Bytes kSize = 32_KiB, kChunk = 2_KiB;
+
+  struct Ref {
+    BlobId id;
+    std::vector<std::vector<std::byte>> versions;  // content per version
+  };
+  std::vector<Ref> refs;
+
+  auto new_blob = [&] {
+    Ref r;
+    r.id = store.create(kSize, kChunk).value();
+    r.versions.push_back(std::vector<std::byte>(kSize, std::byte{0}));
+    refs.push_back(std::move(r));
+  };
+  new_blob();
+
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.uniform_double();
+    if (dice < 0.1) {
+      new_blob();
+    } else if (dice < 0.3 && !refs.empty()) {
+      // Clone a random (blob, version).
+      Ref& src = refs[rng.uniform_u64(refs.size())];
+      const Version v = static_cast<Version>(rng.uniform_u64(src.versions.size()));
+      Ref clone;
+      clone.id = store.clone(src.id, v).value();
+      clone.versions.push_back(src.versions[v]);
+      refs.push_back(std::move(clone));
+    } else {
+      // Write on top of the latest version of a random blob.
+      Ref& r = refs[rng.uniform_u64(refs.size())];
+      const Bytes off = rng.uniform_u64(kSize - 1);
+      const Bytes len = 1 + rng.uniform_u64(std::min<Bytes>(kSize - off, 6000) - 1 + 1);
+      std::vector<std::byte> data(len);
+      for (Bytes i = 0; i < len; ++i) data[i] = pattern_byte(1000 + step, i);
+      const Version base = static_cast<Version>(r.versions.size() - 1);
+      auto v = store.write(r.id, base, off, data);
+      ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+      std::vector<std::byte> next = r.versions.back();
+      std::copy(data.begin(), data.end(), next.begin() + off);
+      r.versions.push_back(std::move(next));
+    }
+  }
+
+  // Verify the complete history of every blob.
+  std::vector<std::byte> got(kSize);
+  for (const Ref& r : refs) {
+    ASSERT_EQ(store.info(r.id)->latest + 1, r.versions.size());
+    for (Version v = 0; v < r.versions.size(); ++v) {
+      ASSERT_TRUE(store.read(r.id, v, 0, got).is_ok());
+      ASSERT_EQ(got, r.versions[v]) << "blob " << r.id << " v" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreHistoryTest,
+                         ::testing::Values(1u, 2u, 2011u));
+
+TEST(StoreStress, MetadataGrowthIsLogarithmicPerCommit) {
+  BlobStore store(StoreConfig{.providers = 2});
+  const Bytes kSize = 16_MiB, kChunk = 4_KiB;  // 4096 chunks
+  BlobId b = store.create(kSize, kChunk).value();
+  ASSERT_TRUE(store.write_pattern(b, 0, 0, kSize, 1).is_ok());
+  const std::size_t base_nodes = store.metadata_nodes();
+
+  // 100 single-chunk commits: each adds ~depth nodes, not ~tree size.
+  for (int i = 0; i < 100; ++i) {
+    std::vector<ChunkWrite> w;
+    const std::uint64_t ci = static_cast<std::uint64_t>(i * 37) % 4096;
+    w.push_back({ci, ChunkPayload::pattern(2, kChunk, ci * kChunk)});
+    ASSERT_TRUE(store.commit_chunks(b, static_cast<Version>(i + 1), std::move(w))
+                    .is_ok());
+  }
+  const std::size_t added = store.metadata_nodes() - base_nodes;
+  EXPECT_LT(added, 100u * 16);  // depth(4096)=13 -> well under 16/commit
+}
+
+TEST(StoreStress, ManyThreadsIndependentBlobs) {
+  BlobStore store(StoreConfig{.providers = 8});
+  constexpr int kThreads = 8;
+  constexpr Bytes kSize = 256_KiB, kChunk = 16_KiB;
+  std::vector<BlobId> blobs;
+  for (int t = 0; t < kThreads; ++t) {
+    blobs.push_back(store.create(kSize, kChunk).value());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t);
+      Version v = 0;
+      for (int i = 0; i < 50; ++i) {
+        const Bytes off = rng.uniform_u64(kSize - 4096);
+        std::vector<std::byte> data(4096);
+        for (std::size_t j = 0; j < data.size(); ++j) {
+          data[j] = pattern_byte(t * 100 + i, j);
+        }
+        auto r = store.write(blobs[t], v, off, data);
+        if (!r.is_ok()) {
+          ++failures;
+          return;
+        }
+        v = *r;
+        std::vector<std::byte> got(4096);
+        if (!store.read(blobs[t], v, off, got).is_ok() || got != data) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (BlobId b : blobs) EXPECT_EQ(store.info(b)->latest, 50u);
+}
+
+TEST(StoreStress, HundredsOfClonesShareEverything) {
+  BlobStore store(StoreConfig{.providers = 4});
+  BlobId base = store.create(64_MiB, 256_KiB).value();
+  ASSERT_TRUE(store.write_pattern(base, 0, 0, 64_MiB, 1).is_ok());
+  const Bytes stored = store.stored_bytes();
+  const std::size_t nodes = store.metadata_nodes();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store.clone(base, 1).is_ok());
+  }
+  EXPECT_EQ(store.stored_bytes(), stored);          // zero data growth
+  EXPECT_EQ(store.metadata_nodes(), nodes + 500u);  // one root node each
+  EXPECT_EQ(store.blob_count(), 501u);
+}
+
+}  // namespace
+}  // namespace vmstorm::blob

@@ -1,0 +1,48 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmstorm {
+namespace {
+
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrip) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacrosCompileAndFilter) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Below-threshold logs must not evaluate side effects... they do build
+  // the line lazily, but the guard macro skips construction entirely.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LOG_DEBUG << count();
+  LOG_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kDebug);
+  LOG_DEBUG << "visible at debug " << 42;
+  LOG_ERROR << "errors always visible above threshold";
+}
+
+TEST(Log, OffSilencesEverything) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  LOG_ERROR << "this must not crash";
+  log_message(LogLevel::kError, "direct call below threshold is dropped");
+}
+
+}  // namespace
+}  // namespace vmstorm

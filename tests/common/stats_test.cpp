@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmstorm {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleSet, EmptyReturnsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamps to 0
+  h.add(50.0);  // clamps to 4
+  h.add(4.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+}
+
+}  // namespace
+}  // namespace vmstorm

@@ -1,0 +1,73 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmstorm {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = not_found("blob 7");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: blob 7");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(invalid_argument("nope"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status helper_returning(Status in) {
+  VMSTORM_RETURN_IF_ERROR(in);
+  return Status::ok();
+}
+
+TEST(Macros, ReturnIfError) {
+  EXPECT_TRUE(helper_returning(Status::ok()).is_ok());
+  EXPECT_EQ(helper_returning(corruption("x")).code(), StatusCode::kCorruption);
+}
+
+Result<int> doubled(Result<int> in) {
+  return in.is_ok() ? Result<int>(in.value() * 2) : in;
+}
+
+Status use_assign_or_return(bool fail, int* out) {
+  VMSTORM_ASSIGN_OR_RETURN(
+      v, doubled(fail ? Result<int>(unavailable("down")) : Result<int>(21)));
+  *out = v;
+  return Status::ok();
+}
+
+TEST(Macros, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(use_assign_or_return(false, &out).is_ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(use_assign_or_return(true, &out).code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace vmstorm

@@ -1,0 +1,48 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace vmstorm {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"n", "value"});
+  t.add_row({"1", "short"});
+  t.add_row({"100", "longer-cell"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("n    value"), std::string::npos);
+  EXPECT_NE(s.find("100  longer-cell"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ(256_KiB, 262144u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+  EXPECT_EQ(1_MiB, 1048576u);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(262144), "256.0 KiB");
+  EXPECT_EQ(format_bytes(2147483648.0), "2.0 GiB");
+}
+
+TEST(Units, Rates) {
+  EXPECT_DOUBLE_EQ(mb_per_s(117.5), 117.5e6);
+  EXPECT_DOUBLE_EQ(mib_per_s(1.0), 1048576.0);
+}
+
+}  // namespace
+}  // namespace vmstorm

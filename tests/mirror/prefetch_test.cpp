@@ -1,0 +1,194 @@
+// Tests for the §7 extensions on the simulated mirroring module:
+// profile-guided prefetch and the commit content-sharing model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mirror/sim_disk.hpp"
+
+namespace vmstorm::mirror {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  net::Network network;
+  blob::BlobStore store;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::unique_ptr<storage::Disk> local_disk;
+  std::unique_ptr<blob::SimCluster> cluster;
+  net::NodeId client;
+  blob::BlobId image = 0;
+
+  static constexpr Bytes kImage = 64_KiB;
+  static constexpr Bytes kChunk = 4_KiB;
+
+  explicit Rig(bool dedup = false)
+      : network(engine, 6, net_cfg()),
+        store(blob::StoreConfig{.providers = 4, .dedup = dedup}) {
+    std::vector<net::NodeId> nodes{0, 1, 2, 3};
+    std::vector<storage::Disk*> dptr;
+    for (int i = 0; i < 4; ++i) {
+      disks.push_back(std::make_unique<storage::Disk>(engine, disk_cfg()));
+      dptr.push_back(disks.back().get());
+    }
+    local_disk = std::make_unique<storage::Disk>(engine, disk_cfg());
+    cluster = std::make_unique<blob::SimCluster>(engine, network, store, nodes,
+                                                 dptr, 4);
+    client = 5;
+    image = store.create(kImage, kChunk).value();
+    EXPECT_TRUE(store.write_pattern(image, 0, 0, kImage, 1).is_ok());
+  }
+
+  MirrorConfig mirror_cfg() const {
+    MirrorConfig cfg;
+    cfg.image_size = kImage;
+    cfg.chunk_size = kChunk;
+    return cfg;
+  }
+  static net::NetworkConfig net_cfg() {
+    net::NetworkConfig cfg;
+    cfg.link_rate = 1e6;
+    cfg.latency = sim::from_millis(1);
+    cfg.per_message_overhead = 0;
+    cfg.per_message_cpu = 0;
+    cfg.connection_setup = 0;
+    return cfg;
+  }
+  static storage::DiskConfig disk_cfg() {
+    storage::DiskConfig cfg;
+    cfg.rate = 1e6;
+    cfg.seek_overhead = 0;
+    return cfg;
+  }
+};
+
+TEST(Prefetch, AccessProfileRecordsFirstTouchOrder) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    co_await d.read(5 * Rig::kChunk, 100);
+    co_await d.read(2 * Rig::kChunk, 100);
+    co_await d.read(5 * Rig::kChunk + 200, 100);  // same chunk: no new entry
+    co_await d.read(9 * Rig::kChunk, 100);
+  }(disk));
+  rig.engine.run();
+  EXPECT_EQ(disk.access_profile(), (AccessProfile{5, 2, 9}));
+}
+
+TEST(Prefetch, PrefetcherMirrorsProfileChunks) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    AccessProfile profile{1, 3, 7};
+    co_await d.prefetch(std::move(profile), 2);
+  }(disk));
+  rig.engine.run();
+  for (std::uint64_t ci : {1u, 3u, 7u}) {
+    EXPECT_TRUE(disk.local_state().is_mirrored(disk.local_state().chunk_range(ci)));
+  }
+  EXPECT_FALSE(disk.local_state().is_mirrored(disk.local_state().chunk_range(0)));
+  EXPECT_EQ(disk.stats().prefetched_chunks, 3u);
+}
+
+TEST(Prefetch, DemandAndPrefetchNeverDoubleFetch) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  // Prefetch the whole image while demand reads race through it.
+  AccessProfile all;
+  for (std::uint64_t ci = 0; ci < Rig::kImage / Rig::kChunk; ++ci) {
+    all.push_back(ci);
+  }
+  rig.engine.spawn([](SimVirtualDisk& d, AccessProfile p) -> Task<void> {
+    co_await d.prefetch(std::move(p), 4);
+  }(disk, all));
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    for (Bytes off = 0; off + 1024 <= Rig::kImage; off += 1024) {
+      co_await d.read(off, 1024);
+    }
+  }(disk));
+  rig.engine.run();
+  EXPECT_EQ(rig.engine.live_tasks(), 0u);
+  // Every byte fetched exactly once: total fetched == image size.
+  EXPECT_EQ(disk.stats().remote_bytes_fetched, Rig::kImage);
+  EXPECT_TRUE(disk.local_state().is_mirrored({0, Rig::kImage}));
+}
+
+TEST(Prefetch, SkipsAlreadyMirroredChunks) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    co_await d.read(0, Rig::kChunk);  // chunk 0 mirrored by demand
+    const Bytes before = d.stats().remote_bytes_fetched;
+    AccessProfile profile{0};
+    co_await d.prefetch(std::move(profile), 4);
+    EXPECT_EQ(d.stats().remote_bytes_fetched, before);
+  }(disk));
+  rig.engine.run();
+}
+
+TEST(Prefetch, OutOfRangeProfileEntriesIgnored) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    AccessProfile profile{9999, 1};
+    co_await d.prefetch(std::move(profile), 4);
+  }(disk));
+  rig.engine.run();
+  EXPECT_TRUE(disk.local_state().is_mirrored(disk.local_state().chunk_range(1)));
+}
+
+TEST(SharedContent, DedupAcrossInstances) {
+  Rig rig(/*dedup=*/true);
+  // Two instances write the same chunks and snapshot; with a shared
+  // fraction of 1.0, the second commit dedupes fully.
+  auto make = [&](std::uint64_t salt) {
+    auto d = std::make_unique<SimVirtualDisk>(
+        *rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+        rig.mirror_cfg(), salt);
+    d->set_commit_shared_fraction(1.0);
+    return d;
+  };
+  auto d1 = make(1), d2 = make(2);
+  rig.engine.spawn([](SimVirtualDisk& a, SimVirtualDisk& b) -> Task<void> {
+    co_await a.write(0, 2 * Rig::kChunk);
+    co_await a.clone();
+    co_await a.commit();
+    co_await b.write(0, 2 * Rig::kChunk);
+    co_await b.clone();
+    co_await b.commit();
+  }(*d1, *d2));
+  rig.engine.run();
+  EXPECT_EQ(rig.store.dedup_hits(), 2u);
+  EXPECT_EQ(rig.store.stored_bytes(), Rig::kImage + 2 * Rig::kChunk);
+}
+
+TEST(SharedContent, UniqueContentDoesNotDedup) {
+  Rig rig(/*dedup=*/true);
+  auto make = [&](std::uint64_t salt) {
+    return std::make_unique<SimVirtualDisk>(
+        *rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+        rig.mirror_cfg(), salt);  // shared fraction defaults to 0
+  };
+  auto d1 = make(1), d2 = make(2);
+  rig.engine.spawn([](SimVirtualDisk& a, SimVirtualDisk& b) -> Task<void> {
+    co_await a.write(0, Rig::kChunk);
+    co_await a.clone();
+    co_await a.commit();
+    co_await b.write(0, Rig::kChunk);
+    co_await b.clone();
+    co_await b.commit();
+  }(*d1, *d2));
+  rig.engine.run();
+  EXPECT_EQ(rig.store.dedup_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace vmstorm::mirror

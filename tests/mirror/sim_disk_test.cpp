@@ -1,0 +1,201 @@
+#include "mirror/sim_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vmstorm::mirror {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  net::Network network;
+  blob::BlobStore store;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::unique_ptr<storage::Disk> local_disk;
+  std::unique_ptr<blob::SimCluster> cluster;
+  net::NodeId client;
+  blob::BlobId image = 0;
+
+  static constexpr Bytes kImage = 64_KiB;
+  static constexpr Bytes kChunk = 4_KiB;
+
+  Rig() : network(engine, 6, net_cfg()),
+          store(blob::StoreConfig{.providers = 4}) {
+    std::vector<net::NodeId> nodes{0, 1, 2, 3};
+    std::vector<storage::Disk*> dptr;
+    for (int i = 0; i < 4; ++i) {
+      disks.push_back(std::make_unique<storage::Disk>(engine, disk_cfg()));
+      dptr.push_back(disks.back().get());
+    }
+    local_disk = std::make_unique<storage::Disk>(engine, disk_cfg());
+    cluster = std::make_unique<blob::SimCluster>(engine, network, store, nodes,
+                                                 dptr, /*manager=*/4);
+    client = 5;
+    image = store.create(kImage, kChunk).value();
+    EXPECT_TRUE(store.write_pattern(image, 0, 0, kImage, 1).is_ok());
+  }
+
+  MirrorConfig mirror_cfg(bool s1 = true, bool s2 = true) const {
+    MirrorConfig cfg;
+    cfg.image_size = kImage;
+    cfg.chunk_size = kChunk;
+    cfg.prefetch_whole_chunks = s1;
+    cfg.single_region_per_chunk = s2;
+    return cfg;
+  }
+
+  static net::NetworkConfig net_cfg() {
+    net::NetworkConfig cfg;
+    cfg.link_rate = 1e6;
+    cfg.latency = sim::from_millis(1);
+    cfg.per_message_overhead = 0;
+    cfg.per_message_cpu = 0;
+    cfg.connection_setup = 0;
+    return cfg;
+  }
+  static storage::DiskConfig disk_cfg() {
+    storage::DiskConfig cfg;
+    cfg.rate = 1e6;
+    cfg.seek_overhead = 0;
+    return cfg;
+  }
+};
+
+TEST(SimVirtualDisk, ReadFetchesWholeChunksOnce) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    co_await d.read(100, 200);
+    EXPECT_EQ(d.stats().remote_bytes_fetched, Rig::kChunk);
+    co_await d.read(300, 100);  // same chunk, already mirrored
+    EXPECT_EQ(d.stats().remote_bytes_fetched, Rig::kChunk);
+  }(disk));
+  rig.engine.run();
+  EXPECT_EQ(rig.engine.live_tasks(), 0u);
+}
+
+TEST(SimVirtualDisk, ReadTimeReflectsTransferCost) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  double done = 0;
+  rig.engine.spawn([](Rig& r, SimVirtualDisk& d, double* out) -> Task<void> {
+    co_await d.read(0, Rig::kChunk);
+    *out = r.engine.now_seconds();
+  }(rig, disk, &done));
+  rig.engine.run();
+  // One chunk of 4096 B at 1e6 B/s appears in request path twice (TX+RX)
+  // plus disk; just bound it to prove cost is charged.
+  EXPECT_GT(done, 0.008);
+  EXPECT_LT(done, 0.1);
+}
+
+TEST(SimVirtualDisk, WritesStayLocal) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](Rig& r, SimVirtualDisk& d) -> Task<void> {
+    const Bytes before = r.network.total_payload();
+    co_await d.write(0, Rig::kChunk);  // aligned whole-chunk write
+    EXPECT_EQ(r.network.total_payload(), before);
+  }(rig, disk));
+  rig.engine.run();
+}
+
+TEST(SimVirtualDisk, GapFillingWriteFetchesGap) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](SimVirtualDisk& d) -> Task<void> {
+    co_await d.write(0, 16);
+    co_await d.write(100, 16);
+    EXPECT_EQ(d.stats().remote_bytes_fetched, 84u);
+    EXPECT_TRUE(d.local_state().single_region_invariant_holds());
+  }(disk));
+  rig.engine.run();
+}
+
+TEST(SimVirtualDisk, CloneCommitPublishesSnapshot) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg(), /*salt=*/7);
+  blob::BlobId clone_id = blob::kInvalidBlob;
+  blob::Version version = 0;
+  rig.engine.spawn([](SimVirtualDisk& d, blob::BlobId* cid,
+                      blob::Version* v) -> Task<void> {
+    co_await d.write(1000, 2000);
+    *cid = co_await d.clone();
+    *v = co_await d.commit();
+  }(disk, &clone_id, &version));
+  rig.engine.run();
+  ASSERT_NE(clone_id, blob::kInvalidBlob);
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(rig.store.info(clone_id)->latest, 1u);
+  // Exactly the dirty chunk(s) were stored: write [1000,3000) touches
+  // chunk 0 (via gap-fill? no: fresh chunk) -> chunk 0 is [0,4096):
+  // 1000..3000 inside chunk 0 only.
+  EXPECT_EQ(rig.store.stored_bytes(), Rig::kImage + Rig::kChunk);
+}
+
+TEST(SimVirtualDisk, CommitIdlesWhenClean) {
+  Rig rig;
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, rig.image, 1,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](Rig& r, SimVirtualDisk& d) -> Task<void> {
+    const Bytes before = r.network.total_traffic();
+    const blob::Version v = co_await d.commit();
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(r.network.total_traffic(), before);
+  }(rig, disk));
+  rig.engine.run();
+}
+
+TEST(SimVirtualDisk, HoleChunksFetchNothing) {
+  Rig rig;
+  // A brand-new blob (all holes) mirrors for free.
+  blob::BlobId empty = rig.store.create(Rig::kImage, Rig::kChunk).value();
+  SimVirtualDisk disk(*rig.cluster, rig.client, *rig.local_disk, empty, 0,
+                      rig.mirror_cfg());
+  rig.engine.spawn([](Rig& r, SimVirtualDisk& d) -> Task<void> {
+    const Bytes before = r.network.total_payload();
+    co_await d.read(0, 8192);
+    // locate rpc happened, but no chunk data travelled.
+    EXPECT_EQ(r.network.total_payload(), before + 512u);
+  }(rig, disk));
+  rig.engine.run();
+}
+
+TEST(SimVirtualDisk, ConcurrentInstancesSkewUnderContention) {
+  // Several VMs reading the same first chunk: completions serialize at the
+  // provider — the "skew" effect §3.1.3 relies on.
+  Rig rig;
+  std::vector<net::NodeId> clients;
+  std::vector<std::unique_ptr<storage::Disk>> local_disks;
+  std::vector<std::unique_ptr<SimVirtualDisk>> vdisks;
+  std::vector<double> done(6, 0.0);
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(rig.network.add_node());
+    local_disks.push_back(
+        std::make_unique<storage::Disk>(rig.engine, Rig::disk_cfg()));
+    vdisks.push_back(std::make_unique<SimVirtualDisk>(
+        *rig.cluster, clients[i], *local_disks[i], rig.image, 1,
+        rig.mirror_cfg(), 100 + i));
+  }
+  for (int i = 0; i < 6; ++i) {
+    rig.engine.spawn([](Rig& r, SimVirtualDisk& d, double* out) -> Task<void> {
+      co_await d.read(0, Rig::kChunk);
+      *out = r.engine.now_seconds();
+    }(rig, *vdisks[i], &done[i]));
+  }
+  rig.engine.run();
+  std::sort(done.begin(), done.end());
+  EXPECT_GT(done[5], done[0]);
+}
+
+}  // namespace
+}  // namespace vmstorm::mirror

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "imgfs/block_device.hpp"
+
+namespace vmstorm {
+namespace {
+
+using net::NetworkConfig;
+using net::Network;
+using sim::Engine;
+using sim::Task;
+
+TEST(ConnectionSetup, FirstMessagePaysHandshake) {
+  Engine e;
+  NetworkConfig cfg;
+  cfg.link_rate = 100.0;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 0;
+  cfg.per_message_cpu = 0;
+  cfg.connection_setup = sim::from_seconds(0.5);
+  Network net(e, 2, cfg);
+  double first = 0, second = 0;
+  e.spawn([](Engine& eng, Network& n, double* a, double* b) -> Task<void> {
+    co_await n.transfer(0, 1, 100);
+    *a = eng.now_seconds();
+    co_await n.transfer(0, 1, 100);
+    *b = eng.now_seconds();
+  }(e, net, &first, &second));
+  e.run();
+  EXPECT_DOUBLE_EQ(first, 0.5 + 2.0);   // handshake + tx + rx
+  EXPECT_DOUBLE_EQ(second - first, 2.0);  // established: no handshake
+  EXPECT_EQ(net.connections_opened(), 1u);
+}
+
+TEST(ConnectionSetup, DirectionalAndPerPair) {
+  Engine e;
+  NetworkConfig cfg;
+  cfg.link_rate = 1e9;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 0;
+  cfg.per_message_cpu = 0;
+  cfg.connection_setup = sim::from_seconds(0.1);
+  Network net(e, 3, cfg);
+  e.spawn([](Network& n) -> Task<void> {
+    co_await n.transfer(0, 1, 10);
+    co_await n.transfer(1, 0, 10);  // reverse direction: its own handshake
+    co_await n.transfer(0, 2, 10);
+    co_await n.transfer(0, 1, 10);  // reuse
+  }(net));
+  e.run();
+  EXPECT_EQ(net.connections_opened(), 3u);
+  net.reset_connections();
+  EXPECT_EQ(net.connections_opened(), 0u);
+}
+
+TEST(LatencyDevice, ChargesRealTimePerOp) {
+  imgfs::MemDevice mem(4096);
+  imgfs::LatencyDevice dev(mem, 2'000'000);  // 2 ms/op
+  std::vector<std::byte> buf(16);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(dev.pwrite(0, buf).is_ok());
+  ASSERT_TRUE(dev.pread(0, buf).is_ok());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(elapsed, 0.004);
+  EXPECT_EQ(dev.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace vmstorm

@@ -1,0 +1,163 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sync.hpp"
+
+namespace vmstorm::net {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::from_seconds;
+
+NetworkConfig simple_config() {
+  NetworkConfig cfg;
+  cfg.link_rate = 100.0;  // 100 B/s for easy arithmetic
+  cfg.latency = sim::from_seconds(0.5);
+  cfg.per_message_overhead = 0;
+  cfg.per_message_cpu = 0;
+  cfg.connection_setup = 0;
+  return cfg;
+}
+
+Task<void> do_transfer(Network& net, NodeId src, NodeId dst, Bytes n,
+                       double* done_at) {
+  co_await net.transfer(src, dst, n);
+  *done_at = net.engine().now_seconds();
+}
+
+TEST(Network, TransferTimeIsSerializationPlusLatency) {
+  Engine e;
+  Network net(e, 2, simple_config());
+  double done = 0;
+  e.spawn(do_transfer(net, 0, 1, 100, &done));
+  e.run();
+  // 1 s TX + 0.5 s latency + 1 s RX (store-and-forward message granularity).
+  EXPECT_DOUBLE_EQ(done, 2.5);
+  EXPECT_EQ(net.total_traffic(), 100u);
+  EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(Network, SelfTransferIsFree) {
+  Engine e;
+  Network net(e, 2, simple_config());
+  double done = -1;
+  e.spawn(do_transfer(net, 1, 1, 1000, &done));
+  e.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_EQ(net.total_traffic(), 0u);
+}
+
+TEST(Network, SendersToDistinctReceiversShareNothing) {
+  Engine e;
+  Network net(e, 4, simple_config());
+  double d1 = 0, d2 = 0;
+  e.spawn(do_transfer(net, 0, 1, 100, &d1));
+  e.spawn(do_transfer(net, 2, 3, 100, &d2));
+  e.run();
+  // Non-blocking switch: both complete as if alone.
+  EXPECT_DOUBLE_EQ(d1, 2.5);
+  EXPECT_DOUBLE_EQ(d2, 2.5);
+}
+
+TEST(Network, ReceiversContendOnSharedDestinationNic) {
+  Engine e;
+  Network net(e, 3, simple_config());
+  double d1 = 0, d2 = 0;
+  e.spawn(do_transfer(net, 0, 2, 100, &d1));
+  e.spawn(do_transfer(net, 1, 2, 100, &d2));
+  e.run();
+  // Both arrive at dst RX at t=1.5; RX serializes them.
+  EXPECT_DOUBLE_EQ(d1, 2.5);
+  EXPECT_DOUBLE_EQ(d2, 3.5);
+}
+
+TEST(Network, SenderNicSerializesOutgoing) {
+  Engine e;
+  Network net(e, 3, simple_config());
+  double d1 = 0, d2 = 0;
+  e.spawn(do_transfer(net, 0, 1, 100, &d1));
+  e.spawn(do_transfer(net, 0, 2, 100, &d2));
+  e.run();
+  EXPECT_DOUBLE_EQ(d1, 2.5);
+  EXPECT_DOUBLE_EQ(d2, 3.5);
+}
+
+TEST(Network, OverheadBytesCounted) {
+  Engine e;
+  NetworkConfig cfg = simple_config();
+  cfg.per_message_overhead = 10;
+  Network net(e, 2, cfg);
+  double done = 0;
+  e.spawn(do_transfer(net, 0, 1, 100, &done));
+  e.run();
+  EXPECT_EQ(net.total_traffic(), 110u);
+  EXPECT_EQ(net.total_payload(), 100u);
+  // Wire size is served, so the time includes overhead bytes.
+  EXPECT_DOUBLE_EQ(done, 1.1 + 0.5 + 1.1);
+}
+
+Task<void> do_rpc(Network& net, NodeId c, NodeId s, double* done_at) {
+  co_await net.small_rpc(c, s, 100, 100);
+  *done_at = net.engine().now_seconds();
+}
+
+TEST(Network, SmallRpcRoundTrip) {
+  Engine e;
+  Network net(e, 2, simple_config());
+  double done = 0;
+  e.spawn(do_rpc(net, 0, 1, &done));
+  e.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);  // two 2.5 s transfers
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(Network, RoundTripIncludesServerWork) {
+  Engine e;
+  Network net(e, 2, simple_config());
+  double done = 0;
+  e.spawn([](Network& n, Engine& eng, double* out) -> Task<void> {
+    auto work = [](Engine& en) -> Task<void> {
+      co_await en.sleep(from_seconds(2.0));
+    };
+    co_await n.round_trip(0, 1, 100, 100, work(eng));
+    *out = eng.now_seconds();
+  }(net, e, &done));
+  e.run();
+  EXPECT_DOUBLE_EQ(done, 7.0);  // 2.5 + 2.0 + 2.5
+}
+
+TEST(Network, PerNodeAccounting) {
+  Engine e;
+  Network net(e, 3, simple_config());
+  double d = 0;
+  e.spawn(do_transfer(net, 0, 1, 100, &d));
+  e.spawn(do_transfer(net, 0, 2, 50, &d));
+  e.run();
+  EXPECT_EQ(net.node(0).bytes_sent(), 150u);
+  EXPECT_EQ(net.node(1).bytes_received(), 100u);
+  EXPECT_EQ(net.node(2).bytes_received(), 50u);
+  EXPECT_EQ(net.node(0).bytes_received(), 0u);
+}
+
+TEST(Network, AddNodeGrowsCluster) {
+  Engine e;
+  Network net(e, 2, simple_config());
+  NodeId extra = net.add_node();
+  EXPECT_EQ(extra, 2u);
+  EXPECT_EQ(net.node_count(), 3u);
+  double d = 0;
+  e.spawn(do_transfer(net, 0, extra, 100, &d));
+  e.run();
+  EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(Network, DefaultConfigMatchesPaperTestbed) {
+  NetworkConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.link_rate, 117.5e6);
+  EXPECT_EQ(cfg.latency, sim::from_micros(100));
+}
+
+}  // namespace
+}  // namespace vmstorm::net

@@ -1,0 +1,129 @@
+// Tests for the suspend/resume support on the qcow sim twin:
+// adopt_allocation (a snapshot file copied to a fresh node) and host-file
+// size accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qcow/sim_image.hpp"
+
+namespace vmstorm::qcow {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  net::Network network;
+  dfs::StripedFs fs;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::unique_ptr<dfs::SimDfs> dfs_sim;
+  std::unique_ptr<storage::Disk> disk_a, disk_b;
+  dfs::FileId backing = 0;
+
+  Rig() : network(engine, 5, net_cfg()), fs(2, 4096) {
+    std::vector<net::NodeId> nodes{0, 1};
+    std::vector<storage::Disk*> dptr;
+    for (int i = 0; i < 2; ++i) {
+      disks.push_back(std::make_unique<storage::Disk>(engine, disk_cfg()));
+      dptr.push_back(disks.back().get());
+    }
+    dfs::SimDfsConfig cfg;
+    cfg.server_request_cpu = 0;
+    dfs_sim = std::make_unique<dfs::SimDfs>(engine, network, fs, nodes, dptr, cfg);
+    disk_a = std::make_unique<storage::Disk>(engine, disk_cfg());
+    disk_b = std::make_unique<storage::Disk>(engine, disk_cfg());
+    backing = fs.create("base").value();
+    EXPECT_TRUE(fs.write_pattern(backing, 0, 256_KiB, 1).is_ok());
+  }
+
+  static net::NetworkConfig net_cfg() {
+    net::NetworkConfig cfg;
+    cfg.link_rate = 1e7;
+    cfg.latency = 0;
+    cfg.per_message_overhead = 0;
+    cfg.per_message_cpu = 0;
+    cfg.connection_setup = 0;
+    return cfg;
+  }
+  static storage::DiskConfig disk_cfg() {
+    storage::DiskConfig cfg;
+    cfg.rate = 1e7;
+    cfg.seek_overhead = 0;
+    return cfg;
+  }
+};
+
+TEST(QcowAdopt, AllocationTransfersWithoutIo) {
+  Rig rig;
+  SimImage original(*rig.dfs_sim, rig.backing, *rig.disk_a, 3, 256_KiB, 4096, 1);
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(0, 12000);      // clusters 0..2
+    co_await im.write(100_KiB, 100);  // cluster 25
+  }(original));
+  rig.engine.run();
+  ASSERT_EQ(original.allocated_clusters(), 4u);
+
+  SimImage resumed(*rig.dfs_sim, rig.backing, *rig.disk_b, 4, 256_KiB, 4096, 2);
+  const Bytes wire_before = rig.network.total_payload();
+  resumed.adopt_allocation(original);
+  EXPECT_EQ(rig.network.total_payload(), wire_before);  // metadata only
+  EXPECT_EQ(resumed.allocated_clusters(), 4u);
+  for (std::uint64_t c = 0; c < resumed.cluster_count(); ++c) {
+    EXPECT_EQ(resumed.cluster_allocated(c), original.cluster_allocated(c));
+  }
+  EXPECT_EQ(resumed.host_file_bytes(), original.host_file_bytes());
+}
+
+TEST(QcowAdopt, AdoptedClustersReadLocally) {
+  Rig rig;
+  SimImage original(*rig.dfs_sim, rig.backing, *rig.disk_a, 3, 256_KiB, 4096, 1);
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(0, 4096);
+  }(original));
+  rig.engine.run();
+
+  SimImage resumed(*rig.dfs_sim, rig.backing, *rig.disk_b, 4, 256_KiB, 4096, 2);
+  resumed.adopt_allocation(original);
+  rig.engine.spawn([](Rig& r, SimImage& im) -> Task<void> {
+    const Bytes wire_before = r.network.total_payload();
+    co_await im.read(0, 4096);  // adopted cluster: local disk, no backing
+    EXPECT_EQ(r.network.total_payload(), wire_before);
+    co_await im.read(8192, 100);  // unallocated: goes to the backing store
+    EXPECT_GT(r.network.total_payload(), wire_before);
+  }(rig, resumed));
+  rig.engine.run();
+  EXPECT_EQ(rig.engine.live_tasks(), 0u);
+}
+
+TEST(QcowAdopt, DivergenceAfterAdoptionIsIndependent) {
+  Rig rig;
+  SimImage original(*rig.dfs_sim, rig.backing, *rig.disk_a, 3, 256_KiB, 4096, 1);
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(0, 4096);
+  }(original));
+  rig.engine.run();
+  SimImage resumed(*rig.dfs_sim, rig.backing, *rig.disk_b, 4, 256_KiB, 4096, 2);
+  resumed.adopt_allocation(original);
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(64_KiB, 4096);
+  }(resumed));
+  rig.engine.run();
+  EXPECT_EQ(resumed.allocated_clusters(), 2u);
+  EXPECT_EQ(original.allocated_clusters(), 1u);  // untouched
+}
+
+TEST(QcowAdopt, HostFileGrowsWithClusters) {
+  Rig rig;
+  SimImage img(*rig.dfs_sim, rig.backing, *rig.disk_a, 3, 256_KiB, 4096, 1);
+  const Bytes empty = img.host_file_bytes();
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(0, 3 * 4096);
+  }(img));
+  rig.engine.run();
+  EXPECT_EQ(img.host_file_bytes(), empty + 3 * 4096);
+}
+
+}  // namespace
+}  // namespace vmstorm::qcow

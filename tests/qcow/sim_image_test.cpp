@@ -1,0 +1,173 @@
+#include "qcow/sim_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "qcow/image.hpp"
+
+namespace vmstorm::qcow {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  net::Network network;
+  dfs::StripedFs fs;
+  std::vector<std::unique_ptr<storage::Disk>> disks;
+  std::unique_ptr<dfs::SimDfs> dfs_sim;
+  std::unique_ptr<storage::Disk> local_disk;
+  dfs::FileId backing_file = 0;
+  net::NodeId client;
+
+  explicit Rig(Bytes backing_size, Bytes stripe = 1024)
+      : network(engine, 4, net_cfg()), fs(2, stripe) {
+    std::vector<net::NodeId> nodes{0, 1};
+    std::vector<storage::Disk*> dptr;
+    for (int i = 0; i < 2; ++i) {
+      disks.push_back(std::make_unique<storage::Disk>(engine, disk_cfg()));
+      dptr.push_back(disks.back().get());
+    }
+    dfs_sim = std::make_unique<dfs::SimDfs>(engine, network, fs, nodes, dptr);
+    local_disk = std::make_unique<storage::Disk>(engine, disk_cfg());
+    client = 3;
+    backing_file = fs.create("backing").value();
+    EXPECT_TRUE(fs.write_pattern(backing_file, 0, backing_size, 1).is_ok());
+  }
+
+  static net::NetworkConfig net_cfg() {
+    net::NetworkConfig cfg;
+    cfg.link_rate = 1e6;
+    cfg.latency = sim::from_millis(1);
+    cfg.per_message_overhead = 0;
+    cfg.per_message_cpu = 0;
+    cfg.connection_setup = 0;
+    return cfg;
+  }
+  static storage::DiskConfig disk_cfg() {
+    storage::DiskConfig cfg;
+    cfg.rate = 1e6;
+    cfg.seek_overhead = 0;
+    return cfg;
+  }
+};
+
+TEST(SimImage, ReadsPassThroughAtRequestGranularity) {
+  Rig rig(64_KiB);
+  SimImage img(*rig.dfs_sim, rig.backing_file, *rig.local_disk, rig.client,
+               64_KiB, 4096);
+  rig.engine.spawn([](Rig& r, SimImage& im) -> Task<void> {
+    (void)r;
+    co_await im.read(100, 200);
+  }(rig, img));
+  rig.engine.run();
+  EXPECT_EQ(img.backing_bytes_read(), 200u);
+  EXPECT_EQ(img.allocated_clusters(), 0u);
+  // Only the requested 200 bytes crossed the wire (one stripe piece,
+  // so one 256 B request header).
+  EXPECT_EQ(rig.network.total_payload(), 200u + 256u);
+}
+
+TEST(SimImage, WriteTriggersFullClusterCow) {
+  Rig rig(64_KiB);
+  SimImage img(*rig.dfs_sim, rig.backing_file, *rig.local_disk, rig.client,
+               64_KiB, 4096);
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(5000, 10);  // 10 bytes inside cluster 1
+  }(img));
+  rig.engine.run();
+  EXPECT_EQ(img.allocated_clusters(), 1u);
+  EXPECT_EQ(img.backing_bytes_read(), 4096u);  // whole-cluster copy
+}
+
+TEST(SimImage, AllocatedClusterReadsAreLocal) {
+  Rig rig(64_KiB);
+  SimImage img(*rig.dfs_sim, rig.backing_file, *rig.local_disk, rig.client,
+               64_KiB, 4096);
+  rig.engine.spawn([](Rig& r, SimImage& im) -> Task<void> {
+    co_await im.write(4096, 4096);
+    const Bytes wire_before = r.network.total_payload();
+    co_await im.read(4096, 4096);  // now local
+    EXPECT_EQ(r.network.total_payload(), wire_before);
+  }(rig, img));
+  rig.engine.run();
+}
+
+TEST(SimImage, HostFileTracksAllocation) {
+  Rig rig(1_MiB);
+  SimImage img(*rig.dfs_sim, rig.backing_file, *rig.local_disk, rig.client,
+               1_MiB, 4096);
+  const Bytes empty = img.host_file_bytes();
+  rig.engine.spawn([](SimImage& im) -> Task<void> {
+    co_await im.write(0, 8192);
+  }(img));
+  rig.engine.run();
+  EXPECT_EQ(img.host_file_bytes(), empty + 2 * 4096);
+}
+
+// Cross-validation: the sim twin makes the same allocation decisions and
+// backing-traffic accounting as the real format on a random op sequence.
+class SimImageCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimImageCrossValidation, MatchesRealImage) {
+  const Bytes kSize = 256_KiB;
+  const Bytes kCluster = 4096;
+  Rig rig(kSize);
+  SimImage sim_img(*rig.dfs_sim, rig.backing_file, *rig.local_disk, rig.client,
+                   kSize, kCluster);
+
+  std::vector<std::byte> backing_bytes(kSize);
+  for (Bytes i = 0; i < kSize; ++i) backing_bytes[i] = blob::pattern_byte(1, i);
+  auto backing = std::make_unique<MemFile>(std::move(backing_bytes));
+  auto real = Image::create(std::make_unique<MemFile>(), kSize, kCluster,
+                            backing.get()).value();
+
+  // Drive both with the same operation sequence.
+  struct Op {
+    bool write;
+    Bytes off, len;
+  };
+  Rng rng(GetParam());
+  std::vector<Op> ops;
+  for (int i = 0; i < 200; ++i) {
+    Bytes off = rng.uniform_u64(kSize - 1);
+    Bytes len = 1 + rng.uniform_u64(std::min<Bytes>(kSize - off, 10000) - 1);
+    ops.push_back({rng.bernoulli(0.4), off, len});
+  }
+  rig.engine.spawn([](SimImage& im, const std::vector<Op>& seq) -> Task<void> {
+    for (const Op& op : seq) {
+      if (op.write) {
+        co_await im.write(op.off, op.len);
+      } else {
+        co_await im.read(op.off, op.len);
+      }
+    }
+  }(sim_img, ops));
+  rig.engine.run();
+
+  std::vector<std::byte> buf;
+  for (const Op& op : ops) {
+    buf.assign(op.len, std::byte{0});
+    if (op.write) {
+      ASSERT_TRUE(real->write(op.off, buf).is_ok());
+    } else {
+      ASSERT_TRUE(real->read(op.off, buf).is_ok());
+    }
+  }
+
+  EXPECT_EQ(sim_img.allocated_clusters(), real->stats().allocated_clusters);
+  EXPECT_EQ(sim_img.backing_bytes_read(), real->stats().backing_bytes_read);
+  EXPECT_EQ(sim_img.backing_reads(), real->stats().backing_reads);
+  for (std::uint64_t c = 0; c < sim_img.cluster_count(); ++c) {
+    ASSERT_EQ(sim_img.cluster_allocated(c), real->cluster_allocated(c)) << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimImageCrossValidation,
+                         ::testing::Values(1u, 17u, 2011u));
+
+}  // namespace
+}  // namespace vmstorm::qcow

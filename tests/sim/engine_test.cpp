@@ -1,0 +1,179 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace vmstorm::sim {
+namespace {
+
+Task<void> sleeper(Engine& e, SimTime dt, std::vector<double>* log) {
+  co_await e.sleep(dt);
+  log->push_back(e.now_seconds());
+}
+
+TEST(Engine, TimeAdvancesWithSleep) {
+  Engine e;
+  std::vector<double> log;
+  e.spawn(sleeper(e, from_seconds(1.5), &log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 1.5);
+  EXPECT_DOUBLE_EQ(e.now_seconds(), 1.5);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<double> log;
+  e.spawn(sleeper(e, from_seconds(3.0), &log));
+  e.spawn(sleeper(e, from_seconds(1.0), &log));
+  e.spawn(sleeper(e, from_seconds(2.0), &log));
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 2.0);
+  EXPECT_DOUBLE_EQ(log[2], 3.0);
+}
+
+Task<void> tagger(Engine& e, int tag, std::vector<int>* order) {
+  co_await e.sleep(from_seconds(1.0));
+  order->push_back(tag);
+}
+
+TEST(Engine, EqualTimeEventsFifoBySpawnOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) e.spawn(tagger(e, i, &order));
+  e.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+Task<void> nested_inner(Engine& e, std::vector<double>* log) {
+  co_await e.sleep(from_seconds(0.5));
+  log->push_back(e.now_seconds());
+}
+
+Task<void> nested_outer(Engine& e, std::vector<double>* log) {
+  co_await e.sleep(from_seconds(1.0));
+  co_await nested_inner(e, log);
+  co_await nested_inner(e, log);
+  log->push_back(e.now_seconds());
+}
+
+TEST(Engine, NestedTasksCompose) {
+  Engine e;
+  std::vector<double> log;
+  e.spawn(nested_outer(e, &log));
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.5);
+  EXPECT_DOUBLE_EQ(log[1], 2.0);
+  EXPECT_DOUBLE_EQ(log[2], 2.0);
+}
+
+Task<int> answer(Engine& e) {
+  co_await e.sleep(from_seconds(0.1));
+  co_return 42;
+}
+
+Task<void> consumer(Engine& e, int* out) {
+  *out = co_await answer(e);
+}
+
+TEST(Engine, TaskReturnsValue) {
+  Engine e;
+  int out = 0;
+  e.spawn(consumer(e, &out));
+  e.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<void> thrower(Engine& e) {
+  co_await e.sleep(from_seconds(0.1));
+  throw std::runtime_error("boom");
+}
+
+Task<void> catcher(Engine& e, bool* caught) {
+  try {
+    co_await thrower(e);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Engine, ExceptionsPropagateToAwaiter) {
+  Engine e;
+  bool caught = false;
+  e.spawn(catcher(e, &caught));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, SpawnedExceptionCapturedInJoinHandle) {
+  Engine e;
+  JoinHandle h = e.spawn(thrower(e));
+  e.run();
+  EXPECT_TRUE(h.done());
+  EXPECT_THROW(h.rethrow(), std::runtime_error);
+}
+
+Task<void> join_waiter(Engine& e, JoinHandle h, std::vector<double>* log) {
+  co_await h.join(e);
+  log->push_back(e.now_seconds());
+}
+
+TEST(Engine, JoinWaitsForCompletion) {
+  Engine e;
+  std::vector<double> log;
+  JoinHandle h = e.spawn(sleeper(e, from_seconds(2.0), &log));
+  e.spawn(join_waiter(e, h, &log));
+  e.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[1], 2.0);
+}
+
+TEST(Engine, JoinAfterCompletionIsImmediate) {
+  Engine e;
+  std::vector<double> log;
+  JoinHandle h = e.spawn(sleeper(e, from_seconds(1.0), &log));
+  e.run();
+  ASSERT_TRUE(h.done());
+  e.spawn(join_waiter(e, h, &log));
+  e.run();
+  ASSERT_EQ(log.size(), 2u);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine e;
+  std::vector<double> log;
+  e.spawn(sleeper(e, from_seconds(10.0), &log));
+  e.run(from_seconds(5.0));
+  EXPECT_TRUE(log.empty());
+  EXPECT_DOUBLE_EQ(e.now_seconds(), 5.0);
+  EXPECT_EQ(e.live_tasks(), 1u);
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 10.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<double> log;
+    for (int i = 0; i < 20; ++i) {
+      e.spawn(sleeper(e, from_seconds(0.1 * (i % 7)), &log));
+    }
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace vmstorm::sim

@@ -1,0 +1,99 @@
+#include "vm/boot_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/interval.hpp"
+
+namespace vmstorm::vm {
+namespace {
+
+BootTraceParams small_params() {
+  BootTraceParams p;
+  p.image_size = 64_MiB;
+  p.read_volume = 4_MiB;
+  p.write_volume = 512_KiB;
+  p.cpu_seconds = 1.0;
+  return p;
+}
+
+TEST(BootTrace, DeterministicForSeed) {
+  auto a = BootTrace::generate(small_params(), 1);
+  auto b = BootTrace::generate(small_params(), 1);
+  ASSERT_EQ(a.ops().size(), b.ops().size());
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    EXPECT_EQ(a.ops()[i].offset, b.ops()[i].offset);
+    EXPECT_EQ(a.ops()[i].length, b.ops()[i].length);
+    EXPECT_EQ(a.ops()[i].cpu, b.ops()[i].cpu);
+  }
+}
+
+TEST(BootTrace, DifferentSeedsDiffer) {
+  auto a = BootTrace::generate(small_params(), 1);
+  auto b = BootTrace::generate(small_params(), 2);
+  bool differ = a.ops().size() != b.ops().size();
+  for (std::size_t i = 0; !differ && i < a.ops().size(); ++i) {
+    differ = a.ops()[i].offset != b.ops()[i].offset;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(BootTrace, VolumesRespectBudgets) {
+  auto t = BootTrace::generate(small_params(), 7);
+  EXPECT_GE(t.unique_read_bytes(), 4_MiB);
+  EXPECT_LT(t.unique_read_bytes(), 5_MiB);  // modest overshoot only
+  EXPECT_EQ(t.total_written(), 512_KiB);
+  EXPECT_NEAR(t.total_cpu_seconds(), 1.0, 0.5);
+}
+
+TEST(BootTrace, StartsWithBootSectorRead) {
+  auto t = BootTrace::generate(small_params(), 7);
+  ASSERT_FALSE(t.ops().empty());
+  EXPECT_EQ(t.ops()[0].kind, BootOp::Kind::kRead);
+  EXPECT_EQ(t.ops()[0].offset, 0u);
+}
+
+TEST(BootTrace, AllAccessesInBounds) {
+  auto p = small_params();
+  auto t = BootTrace::generate(p, 3);
+  for (const auto& op : t.ops()) {
+    if (op.kind == BootOp::Kind::kCpu) continue;
+    EXPECT_LE(op.offset + op.length, p.image_size);
+    EXPECT_GT(op.length, 0u);
+  }
+}
+
+TEST(BootTrace, ReadsClusterInHotRegion) {
+  auto p = small_params();
+  p.hot_fraction = 0.25;
+  auto t = BootTrace::generate(p, 3);
+  Bytes in_hot = 0, total = 0;
+  for (const auto& op : t.ops()) {
+    if (op.kind != BootOp::Kind::kRead) continue;
+    total += op.length;
+    if (op.offset < p.image_size / 4 + p.max_run) in_hot += op.length;
+  }
+  EXPECT_GT(static_cast<double>(in_hot) / static_cast<double>(total), 0.95);
+}
+
+TEST(BootTrace, RequestSizesAreSmall) {
+  auto p = small_params();
+  auto t = BootTrace::generate(p, 3);
+  for (const auto& op : t.ops()) {
+    if (op.kind == BootOp::Kind::kRead) {
+      EXPECT_LE(op.length, p.max_request);
+    }
+  }
+}
+
+TEST(BootTrace, TouchedFractionIsSmall) {
+  // §2.3: a VM touches only a small part of the image.
+  BootTraceParams p;  // defaults: 2 GiB image, ~105 MiB reads
+  p.cpu_seconds = 1.0;
+  auto t = BootTrace::generate(p, 1);
+  EXPECT_LT(static_cast<double>(t.unique_read_bytes()) /
+                static_cast<double>(p.image_size),
+            0.07);
+}
+
+}  // namespace
+}  // namespace vmstorm::vm

@@ -1,0 +1,17 @@
+// vmstormctl — manipulate an on-disk vmstorm image repository.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/repo_cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto result = vmstorm::apps::run_repo_cli(args);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(result->c_str(), stdout);
+  return 0;
+}
