@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_multideployment.dir/bench_fig4_multideployment.cpp.o"
+  "CMakeFiles/bench_fig4_multideployment.dir/bench_fig4_multideployment.cpp.o.d"
+  "bench_fig4_multideployment"
+  "bench_fig4_multideployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multideployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

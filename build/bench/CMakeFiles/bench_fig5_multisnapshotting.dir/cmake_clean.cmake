@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multisnapshotting.dir/bench_fig5_multisnapshotting.cpp.o"
+  "CMakeFiles/bench_fig5_multisnapshotting.dir/bench_fig5_multisnapshotting.cpp.o.d"
+  "bench_fig5_multisnapshotting"
+  "bench_fig5_multisnapshotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multisnapshotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

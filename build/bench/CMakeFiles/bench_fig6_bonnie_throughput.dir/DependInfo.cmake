@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_bonnie_throughput.cpp" "bench/CMakeFiles/bench_fig6_bonnie_throughput.dir/bench_fig6_bonnie_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_bonnie_throughput.dir/bench_fig6_bonnie_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgfs/CMakeFiles/vmstorm_imgfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vmstorm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/vmstorm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcast/CMakeFiles/vmstorm_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmstorm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirror/CMakeFiles/vmstorm_mirror.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcow/CMakeFiles/vmstorm_qcow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/vmstorm_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vmstorm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

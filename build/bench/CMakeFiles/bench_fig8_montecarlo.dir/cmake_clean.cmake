@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_montecarlo.dir/bench_fig8_montecarlo.cpp.o"
+  "CMakeFiles/bench_fig8_montecarlo.dir/bench_fig8_montecarlo.cpp.o.d"
+  "bench_fig8_montecarlo"
+  "bench_fig8_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_snapshot.dir/debug_snapshot.cpp.o"
+  "CMakeFiles/debug_snapshot.dir/debug_snapshot.cpp.o.d"
+  "debug_snapshot"
+  "debug_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

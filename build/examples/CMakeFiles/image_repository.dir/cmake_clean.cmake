@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_repository.dir/image_repository.cpp.o"
+  "CMakeFiles/image_repository.dir/image_repository.cpp.o.d"
+  "image_repository"
+  "image_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

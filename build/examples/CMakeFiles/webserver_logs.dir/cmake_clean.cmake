@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_logs.dir/webserver_logs.cpp.o"
+  "CMakeFiles/webserver_logs.dir/webserver_logs.cpp.o.d"
+  "webserver_logs"
+  "webserver_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

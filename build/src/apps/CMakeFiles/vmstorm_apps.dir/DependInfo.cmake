@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bonnie.cpp" "src/apps/CMakeFiles/vmstorm_apps.dir/bonnie.cpp.o" "gcc" "src/apps/CMakeFiles/vmstorm_apps.dir/bonnie.cpp.o.d"
+  "/root/repo/src/apps/montecarlo.cpp" "src/apps/CMakeFiles/vmstorm_apps.dir/montecarlo.cpp.o" "gcc" "src/apps/CMakeFiles/vmstorm_apps.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/apps/repo_cli.cpp" "src/apps/CMakeFiles/vmstorm_apps.dir/repo_cli.cpp.o" "gcc" "src/apps/CMakeFiles/vmstorm_apps.dir/repo_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgfs/CMakeFiles/vmstorm_imgfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/vmstorm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcast/CMakeFiles/vmstorm_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmstorm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirror/CMakeFiles/vmstorm_mirror.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcow/CMakeFiles/vmstorm_qcow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/vmstorm_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vmstorm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_apps.dir/bonnie.cpp.o"
+  "CMakeFiles/vmstorm_apps.dir/bonnie.cpp.o.d"
+  "CMakeFiles/vmstorm_apps.dir/montecarlo.cpp.o"
+  "CMakeFiles/vmstorm_apps.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/vmstorm_apps.dir/repo_cli.cpp.o"
+  "CMakeFiles/vmstorm_apps.dir/repo_cli.cpp.o.d"
+  "libvmstorm_apps.a"
+  "libvmstorm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcast/broadcast.cpp" "src/bcast/CMakeFiles/vmstorm_bcast.dir/broadcast.cpp.o" "gcc" "src/bcast/CMakeFiles/vmstorm_bcast.dir/broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_bcast.dir/broadcast.cpp.o"
+  "CMakeFiles/vmstorm_bcast.dir/broadcast.cpp.o.d"
+  "libvmstorm_bcast.a"
+  "libvmstorm_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

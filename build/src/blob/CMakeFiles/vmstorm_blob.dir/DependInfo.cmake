@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blob/chunk.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/chunk.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/chunk.cpp.o.d"
+  "/root/repo/src/blob/persist.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/persist.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/persist.cpp.o.d"
+  "/root/repo/src/blob/provider_manager.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/provider_manager.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/provider_manager.cpp.o.d"
+  "/root/repo/src/blob/segment_tree.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/segment_tree.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/segment_tree.cpp.o.d"
+  "/root/repo/src/blob/sim_cluster.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/sim_cluster.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/sim_cluster.cpp.o.d"
+  "/root/repo/src/blob/store.cpp" "src/blob/CMakeFiles/vmstorm_blob.dir/store.cpp.o" "gcc" "src/blob/CMakeFiles/vmstorm_blob.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

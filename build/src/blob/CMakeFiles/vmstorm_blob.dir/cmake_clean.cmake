@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_blob.dir/chunk.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/chunk.cpp.o.d"
+  "CMakeFiles/vmstorm_blob.dir/persist.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/persist.cpp.o.d"
+  "CMakeFiles/vmstorm_blob.dir/provider_manager.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/provider_manager.cpp.o.d"
+  "CMakeFiles/vmstorm_blob.dir/segment_tree.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/segment_tree.cpp.o.d"
+  "CMakeFiles/vmstorm_blob.dir/sim_cluster.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/sim_cluster.cpp.o.d"
+  "CMakeFiles/vmstorm_blob.dir/store.cpp.o"
+  "CMakeFiles/vmstorm_blob.dir/store.cpp.o.d"
+  "libvmstorm_blob.a"
+  "libvmstorm_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/vmstorm_cloud.dir/cloud.cpp.o.d"
+  "libvmstorm_cloud.a"
+  "libvmstorm_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_common.dir/interval.cpp.o"
+  "CMakeFiles/vmstorm_common.dir/interval.cpp.o.d"
+  "CMakeFiles/vmstorm_common.dir/log.cpp.o"
+  "CMakeFiles/vmstorm_common.dir/log.cpp.o.d"
+  "CMakeFiles/vmstorm_common.dir/stats.cpp.o"
+  "CMakeFiles/vmstorm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vmstorm_common.dir/table.cpp.o"
+  "CMakeFiles/vmstorm_common.dir/table.cpp.o.d"
+  "libvmstorm_common.a"
+  "libvmstorm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

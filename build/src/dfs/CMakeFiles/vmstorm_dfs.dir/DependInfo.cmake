@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/sim_dfs.cpp" "src/dfs/CMakeFiles/vmstorm_dfs.dir/sim_dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/vmstorm_dfs.dir/sim_dfs.cpp.o.d"
+  "/root/repo/src/dfs/striped_fs.cpp" "src/dfs/CMakeFiles/vmstorm_dfs.dir/striped_fs.cpp.o" "gcc" "src/dfs/CMakeFiles/vmstorm_dfs.dir/striped_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vmstorm_blob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_dfs.dir/sim_dfs.cpp.o"
+  "CMakeFiles/vmstorm_dfs.dir/sim_dfs.cpp.o.d"
+  "CMakeFiles/vmstorm_dfs.dir/striped_fs.cpp.o"
+  "CMakeFiles/vmstorm_dfs.dir/striped_fs.cpp.o.d"
+  "libvmstorm_dfs.a"
+  "libvmstorm_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_imgfs.dir/block_device.cpp.o"
+  "CMakeFiles/vmstorm_imgfs.dir/block_device.cpp.o.d"
+  "CMakeFiles/vmstorm_imgfs.dir/filesystem.cpp.o"
+  "CMakeFiles/vmstorm_imgfs.dir/filesystem.cpp.o.d"
+  "libvmstorm_imgfs.a"
+  "libvmstorm_imgfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_imgfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_mirror.dir/local_file.cpp.o"
+  "CMakeFiles/vmstorm_mirror.dir/local_file.cpp.o.d"
+  "CMakeFiles/vmstorm_mirror.dir/local_state.cpp.o"
+  "CMakeFiles/vmstorm_mirror.dir/local_state.cpp.o.d"
+  "CMakeFiles/vmstorm_mirror.dir/sim_disk.cpp.o"
+  "CMakeFiles/vmstorm_mirror.dir/sim_disk.cpp.o.d"
+  "CMakeFiles/vmstorm_mirror.dir/virtual_disk.cpp.o"
+  "CMakeFiles/vmstorm_mirror.dir/virtual_disk.cpp.o.d"
+  "libvmstorm_mirror.a"
+  "libvmstorm_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_net.dir/network.cpp.o"
+  "CMakeFiles/vmstorm_net.dir/network.cpp.o.d"
+  "libvmstorm_net.a"
+  "libvmstorm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qcow/byte_file.cpp" "src/qcow/CMakeFiles/vmstorm_qcow.dir/byte_file.cpp.o" "gcc" "src/qcow/CMakeFiles/vmstorm_qcow.dir/byte_file.cpp.o.d"
+  "/root/repo/src/qcow/image.cpp" "src/qcow/CMakeFiles/vmstorm_qcow.dir/image.cpp.o" "gcc" "src/qcow/CMakeFiles/vmstorm_qcow.dir/image.cpp.o.d"
+  "/root/repo/src/qcow/sim_image.cpp" "src/qcow/CMakeFiles/vmstorm_qcow.dir/sim_image.cpp.o" "gcc" "src/qcow/CMakeFiles/vmstorm_qcow.dir/sim_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/vmstorm_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vmstorm_blob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_qcow.dir/byte_file.cpp.o"
+  "CMakeFiles/vmstorm_qcow.dir/byte_file.cpp.o.d"
+  "CMakeFiles/vmstorm_qcow.dir/image.cpp.o"
+  "CMakeFiles/vmstorm_qcow.dir/image.cpp.o.d"
+  "CMakeFiles/vmstorm_qcow.dir/sim_image.cpp.o"
+  "CMakeFiles/vmstorm_qcow.dir/sim_image.cpp.o.d"
+  "libvmstorm_qcow.a"
+  "libvmstorm_qcow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_qcow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

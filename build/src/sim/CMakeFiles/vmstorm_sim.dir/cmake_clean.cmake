@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_sim.dir/engine.cpp.o"
+  "CMakeFiles/vmstorm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/vmstorm_sim.dir/resource.cpp.o"
+  "CMakeFiles/vmstorm_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/vmstorm_sim.dir/sync.cpp.o"
+  "CMakeFiles/vmstorm_sim.dir/sync.cpp.o.d"
+  "libvmstorm_sim.a"
+  "libvmstorm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_storage.dir/disk.cpp.o"
+  "CMakeFiles/vmstorm_storage.dir/disk.cpp.o.d"
+  "libvmstorm_storage.a"
+  "libvmstorm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

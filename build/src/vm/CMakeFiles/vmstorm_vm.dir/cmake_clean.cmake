@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstorm_vm.dir/boot_trace.cpp.o"
+  "CMakeFiles/vmstorm_vm.dir/boot_trace.cpp.o.d"
+  "CMakeFiles/vmstorm_vm.dir/lifecycle.cpp.o"
+  "CMakeFiles/vmstorm_vm.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/vmstorm_vm.dir/vm_disk.cpp.o"
+  "CMakeFiles/vmstorm_vm.dir/vm_disk.cpp.o.d"
+  "libvmstorm_vm.a"
+  "libvmstorm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstorm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bcast/broadcast_edge_test.cpp" "tests/CMakeFiles/test_bcast.dir/bcast/broadcast_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_bcast.dir/bcast/broadcast_edge_test.cpp.o.d"
+  "/root/repo/tests/bcast/broadcast_test.cpp" "tests/CMakeFiles/test_bcast.dir/bcast/broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/test_bcast.dir/bcast/broadcast_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bcast/CMakeFiles/vmstorm_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcast.dir/bcast/broadcast_edge_test.cpp.o"
+  "CMakeFiles/test_bcast.dir/bcast/broadcast_edge_test.cpp.o.d"
+  "CMakeFiles/test_bcast.dir/bcast/broadcast_test.cpp.o"
+  "CMakeFiles/test_bcast.dir/bcast/broadcast_test.cpp.o.d"
+  "test_bcast"
+  "test_bcast.pdb"
+  "test_bcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

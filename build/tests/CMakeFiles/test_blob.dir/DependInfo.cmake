@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blob/chunk_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/chunk_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/chunk_test.cpp.o.d"
+  "/root/repo/tests/blob/dedup_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/dedup_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/dedup_test.cpp.o.d"
+  "/root/repo/tests/blob/persist_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/persist_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/persist_test.cpp.o.d"
+  "/root/repo/tests/blob/provider_manager_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/provider_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/provider_manager_test.cpp.o.d"
+  "/root/repo/tests/blob/segment_tree_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/segment_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/segment_tree_test.cpp.o.d"
+  "/root/repo/tests/blob/sim_cluster_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/sim_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/sim_cluster_test.cpp.o.d"
+  "/root/repo/tests/blob/store_stress_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/store_stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/store_stress_test.cpp.o.d"
+  "/root/repo/tests/blob/store_test.cpp" "tests/CMakeFiles/test_blob.dir/blob/store_test.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blob/CMakeFiles/vmstorm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmstorm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmstorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

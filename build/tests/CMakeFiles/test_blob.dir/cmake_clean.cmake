@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob.dir/blob/chunk_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/chunk_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/dedup_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/dedup_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/persist_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/persist_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/provider_manager_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/provider_manager_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/segment_tree_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/segment_tree_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/sim_cluster_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/sim_cluster_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/store_stress_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/store_stress_test.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/store_test.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/store_test.cpp.o.d"
+  "test_blob"
+  "test_blob.pdb"
+  "test_blob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imgfs.dir/imgfs/filesystem_test.cpp.o"
+  "CMakeFiles/test_imgfs.dir/imgfs/filesystem_test.cpp.o.d"
+  "test_imgfs"
+  "test_imgfs.pdb"
+  "test_imgfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imgfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mirror.dir/mirror/local_state_test.cpp.o"
+  "CMakeFiles/test_mirror.dir/mirror/local_state_test.cpp.o.d"
+  "CMakeFiles/test_mirror.dir/mirror/prefetch_test.cpp.o"
+  "CMakeFiles/test_mirror.dir/mirror/prefetch_test.cpp.o.d"
+  "CMakeFiles/test_mirror.dir/mirror/sim_disk_test.cpp.o"
+  "CMakeFiles/test_mirror.dir/mirror/sim_disk_test.cpp.o.d"
+  "CMakeFiles/test_mirror.dir/mirror/virtual_disk_test.cpp.o"
+  "CMakeFiles/test_mirror.dir/mirror/virtual_disk_test.cpp.o.d"
+  "test_mirror"
+  "test_mirror.pdb"
+  "test_mirror[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

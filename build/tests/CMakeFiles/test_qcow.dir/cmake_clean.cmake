@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qcow.dir/qcow/adopt_test.cpp.o"
+  "CMakeFiles/test_qcow.dir/qcow/adopt_test.cpp.o.d"
+  "CMakeFiles/test_qcow.dir/qcow/image_test.cpp.o"
+  "CMakeFiles/test_qcow.dir/qcow/image_test.cpp.o.d"
+  "CMakeFiles/test_qcow.dir/qcow/sim_image_test.cpp.o"
+  "CMakeFiles/test_qcow.dir/qcow/sim_image_test.cpp.o.d"
+  "test_qcow"
+  "test_qcow.pdb"
+  "test_qcow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qcow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

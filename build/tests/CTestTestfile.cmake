@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_blob[1]_include.cmake")
+include("/root/repo/build/tests/test_dfs[1]_include.cmake")
+include("/root/repo/build/tests/test_qcow[1]_include.cmake")
+include("/root/repo/build/tests/test_mirror[1]_include.cmake")
+include("/root/repo/build/tests/test_imgfs[1]_include.cmake")
+include("/root/repo/build/tests/test_bcast[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmstormctl.dir/vmstormctl.cpp.o"
+  "CMakeFiles/vmstormctl.dir/vmstormctl.cpp.o.d"
+  "vmstormctl"
+  "vmstormctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmstormctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
