@@ -105,7 +105,7 @@ BENCHMARK(BM_ChunkPayloadPattern)->Arg(4096)->Arg(262144);
 void BM_BlobStoreReadThrough(benchmark::State& state) {
   blob::BlobStore store(blob::StoreConfig{.providers = 8});
   blob::BlobId b = store.create(64_MiB, 256_KiB).value();
-  store.write_pattern(b, 0, 0, 64_MiB, 1).value();
+  store.write_pattern(b, 0, 0, 64_MiB, 1).check();
   std::vector<std::byte> buf(64_KiB);
   Rng rng(5);
   for (auto _ : state) {

@@ -31,7 +31,7 @@ std::string read_file(imgfs::FileSystem& fs, const std::string& name) {
   auto id = fs.lookup(name).value();
   auto st = fs.stat(id).value();
   std::vector<std::byte> buf(st.size);
-  fs.read(id, 0, buf).is_ok();
+  fs.read(id, 0, buf).check();
   return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
 }
 
@@ -39,8 +39,8 @@ void write_file(imgfs::FileSystem& fs, const std::string& name,
                 const std::string& content) {
   auto id = fs.lookup(name);
   imgfs::InodeId inode = id.is_ok() ? *id : fs.create(name).value();
-  fs.truncate(inode, 0).is_ok();
-  fs.write(inode, 0, to_bytes(content)).is_ok();
+  fs.truncate(inode, 0).check();
+  fs.write(inode, 0, to_bytes(content)).check();
 }
 
 }  // namespace
@@ -48,7 +48,7 @@ void write_file(imgfs::FileSystem& fs, const std::string& name,
 int main() {
   blob::BlobStore store(blob::StoreConfig{.providers = 4});
   blob::BlobId image = store.create(64_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 64_MiB, 1).value();
+  store.write_pattern(image, 0, 0, 64_MiB, 1).check();
 
   // The running VM: an application that computed for hours and is about to
   // hit a bug caused by a config value.

@@ -23,13 +23,13 @@ int main() {
     blob::BlobStore store(
         blob::StoreConfig{.providers = 8, .dedup = true});
     golden = store.create(128_MiB, 256_KiB).value();
-    store.write_pattern(golden, 0, 0, 128_MiB, /*seed=*/2011).value();
+    store.write_pattern(golden, 0, 0, 128_MiB, /*seed=*/2011).check();
 
     // Two tenants fork the golden image; tenant A customizes theirs.
     tenant_a = store.clone(golden, 1).value();
     tenant_b = store.clone(golden, 1).value();
     std::vector<std::byte> conf(4096, std::byte{0xAA});
-    store.write(tenant_a, 0, 1_MiB, conf).value();
+    store.write(tenant_a, 0, 1_MiB, conf).check();
 
     std::printf("repository: %zu blobs, %s stored (three 128 MiB images!)\n",
                 store.blob_count(),
@@ -55,16 +55,16 @@ int main() {
     auto disk = mirror::VirtualDisk::open(
         store, tenant_a, store.info(tenant_a)->latest, opts).value();
     std::vector<std::byte> buf(4096);
-    disk->pread(1_MiB, buf).is_ok();
+    disk->pread(1_MiB, buf).check();
     const bool custom = buf[0] == std::byte{0xAA};
-    disk->pread(64_MiB, buf).is_ok();
+    disk->pread(64_MiB, buf).check();
     const bool shared = buf[0] == blob::pattern_byte(2011, 64_MiB);
     std::printf("tenant A after restart: customization %s, golden content %s\n",
                 custom ? "intact" : "LOST", shared ? "shared" : "LOST");
 
     // Tenant B never diverged: bytes still come from the golden chunks.
     std::vector<std::byte> b(4096);
-    store.read(tenant_b, 0, 1_MiB, b).is_ok();
+    store.read(tenant_b, 0, 1_MiB, b).check();
     std::printf("tenant B at the same offset: %s golden bytes\n",
                 b[0] == blob::pattern_byte(2011, 1_MiB) ? "still" : "NOT");
   }

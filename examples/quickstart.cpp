@@ -38,13 +38,13 @@ int main() {
 
   // 4. Boot-style access: a read fetches only the chunks it touches...
   std::vector<std::byte> buf(4096);
-  disk->pread(1_MiB, buf).is_ok();
+  disk->pread(1_MiB, buf).check();
   std::printf("after one 4 KiB read: fetched %s from the repository\n",
               format_bytes(static_cast<double>(disk->stats().remote_bytes_fetched)).c_str());
 
   //    ...and writes always stay local.
   std::vector<std::byte> payload(8192, std::byte{0xCD});
-  disk->pwrite(2_MiB, payload).is_ok();
+  disk->pwrite(2_MiB, payload).check();
   std::printf("after an 8 KiB write: still fetched only %s\n",
               format_bytes(static_cast<double>(disk->stats().remote_bytes_fetched)).c_str());
 
@@ -62,16 +62,16 @@ int main() {
 
   // The snapshot is an independent first-class image: read it directly.
   std::vector<std::byte> check(8192);
-  store.read(clone, snap, 2_MiB, check).is_ok();
+  store.read(clone, snap, 2_MiB, check).check();
   std::printf("snapshot readback: %s\n",
               check == payload ? "matches the local write" : "MISMATCH");
 
   // The original image is untouched (shadowing).
-  store.read(image, v1, 2_MiB, check).is_ok();
+  store.read(image, v1, 2_MiB, check).check();
   std::printf("original image at the written offset: %s\n",
               check[0] == blob::pattern_byte(42, 2_MiB) ? "pristine" : "CORRUPTED");
 
-  disk->close().is_ok();
+  disk->close().check();
   std::remove("/tmp/vmstorm_quickstart.img");
   std::remove("/tmp/vmstorm_quickstart.img.meta");
   return 0;

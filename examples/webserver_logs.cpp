@@ -21,7 +21,7 @@ using namespace vmstorm;
 int main() {
   blob::BlobStore store(blob::StoreConfig{.providers = 8});
   blob::BlobId image = store.create(128_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 128_MiB, 7).value();
+  store.write_pattern(image, 0, 0, 128_MiB, 7).check();
 
   mirror::VirtualDiskOptions opts;
   opts.local_path = "/tmp/vmstorm_webserver.img";
@@ -32,6 +32,7 @@ int main() {
   auto access_log = fs->create("access.log").value();
   Rng rng(1);
   Bytes log_pos = 0;
+  int log_generation = 0;
   std::vector<std::string> cache_names;
 
   // Serve "requests": append a log line per request; occasionally store an
@@ -43,25 +44,33 @@ int main() {
                                 (unsigned long long)rng.uniform_u64(255),
                                 (unsigned long long)rng.uniform_u64(1000),
                                 (unsigned long long)(200 + rng.uniform_u64(4000)));
-    fs->write(access_log, log_pos,
-              std::span(reinterpret_cast<const std::byte*>(line),
-                        static_cast<std::size_t>(n))).is_ok();
+    const std::span entry(reinterpret_cast<const std::byte*>(line),
+                          static_cast<std::size_t>(n));
+    if (!fs->write(access_log, log_pos, entry).is_ok()) {
+      // The in-image FS caps a file at 12 extents; interleaved cache-object
+      // writes fragment the log until an append fails. A real web server
+      // rotates its logs — do the same.
+      access_log =
+          fs->create("access.log." + std::to_string(++log_generation)).value();
+      log_pos = 0;
+      fs->write(access_log, log_pos, entry).check();
+    }
     log_pos += static_cast<Bytes>(n);
 
     if (rng.bernoulli(0.05)) {  // cache miss: store a ~64 KiB object
       std::string name = "cache/obj" + std::to_string(cache_names.size());
       auto id = fs->create(name).value();
       std::vector<std::byte> obj(64_KiB, std::byte{static_cast<unsigned char>(request)});
-      fs->write(id, 0, obj).is_ok();
+      fs->write(id, 0, obj).check();
       cache_names.push_back(name);
     } else if (!cache_names.empty() && rng.bernoulli(0.4)) {  // cache hit
       auto id = fs->lookup(cache_names[rng.uniform_u64(cache_names.size())]).value();
       std::vector<std::byte> buf(4_KiB);
-      fs->read(id, 0, buf).is_ok();  // read-your-writes: served locally
+      fs->read(id, 0, buf).check();  // read-your-writes: served locally
     }
 
     if (request % 500 == 499) {  // periodic durability: snapshot the image
-      if (request / 500 == 0) disk->clone().value();
+      if (request / 500 == 0) disk->clone().check();
       const Bytes before = store.stored_bytes();
       blob::Version v = disk->commit().value();
       std::printf("request %4d: committed v%u, +%s to the repository "
@@ -80,7 +89,7 @@ int main() {
   std::printf("(only filesystem metadata blocks and gap fills — every log\n"
               " write and cache hit was served from the local mirror)\n");
 
-  disk->close().is_ok();
+  disk->close().check();
   std::remove("/tmp/vmstorm_webserver.img");
   std::remove("/tmp/vmstorm_webserver.img.meta");
   return 0;

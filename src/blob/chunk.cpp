@@ -6,11 +6,12 @@
 namespace vmstorm::blob {
 
 void ChunkPayload::read(Bytes offset, std::span<std::byte> out) const {
+  if (out.empty()) return;  // memset/memcpy forbid null even for n == 0
   const Bytes avail = offset < size_ ? size_ - offset : 0;
   const Bytes n = std::min<Bytes>(avail, out.size());
   switch (kind_) {
     case Kind::kZeros:
-      std::memset(out.data(), 0, n);
+      if (n > 0) std::memset(out.data(), 0, n);
       break;
     case Kind::kPattern:
       for (Bytes i = 0; i < n; ++i) {
@@ -18,13 +19,14 @@ void ChunkPayload::read(Bytes offset, std::span<std::byte> out) const {
       }
       break;
     case Kind::kBytes:
-      std::memcpy(out.data(), bytes_.data() + offset, n);
+      if (n > 0) std::memcpy(out.data(), bytes_.data() + offset, n);
       break;
   }
   if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
 }
 
 void ChunkPayload::write(Bytes offset, std::span<const std::byte> in) {
+  if (in.empty()) return;
   materialize();
   const Bytes end = offset + in.size();
   if (end > size_) {

@@ -21,7 +21,7 @@ ProviderId ProviderManager::pick_locked(Bytes chunk_bytes,
   switch (policy_) {
     case AllocationPolicy::kRoundRobin:
       p = static_cast<ProviderId>(next_rr_);
-      while (is_taken(p)) p = (p + 1) % load_.size();
+      while (is_taken(p)) p = static_cast<ProviderId>((p + 1) % load_.size());
       next_rr_ = (p + 1) % load_.size();
       break;
     case AllocationPolicy::kLeastLoaded: {

@@ -68,6 +68,11 @@ const BlobStore::BlobRecord* BlobStore::find_locked(BlobId blob) const {
   return it == blobs_.end() ? nullptr : &it->second;
 }
 
+BlobStore::BlobRecord* BlobStore::find_locked(BlobId blob) {
+  auto it = blobs_.find(blob);
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
 Result<NodeRef> BlobStore::root_of_locked(BlobId blob, Version version) const {
   const BlobRecord* rec = find_locked(blob);
   if (rec == nullptr) return not_found("blob " + std::to_string(blob));
@@ -96,9 +101,8 @@ Result<std::vector<ChunkLocation>> BlobStore::locate(BlobId blob,
   return out;
 }
 
-Status BlobStore::read_leaf(const ChunkLocation& loc, Bytes chunk_size,
-                            Bytes offset, std::span<std::byte> out) const {
-  (void)chunk_size;
+Status BlobStore::read_leaf(const ChunkLocation& loc, Bytes offset,
+                            std::span<std::byte> out) const {
   if (loc.is_hole()) {
     std::memset(out.data(), 0, out.size());
     return Status::ok();
@@ -144,7 +148,6 @@ Status BlobStore::drop_replica(ChunkKey key, ProviderId provider) {
 Status BlobStore::read(BlobId blob, Version version, Bytes offset,
                        std::span<std::byte> out) const {
   Bytes chunk_size = 0;
-  Bytes blob_size = 0;
   std::vector<ChunkLocation> locs;
   {
     std::shared_lock lock(mutex_);
@@ -154,18 +157,16 @@ Status BlobStore::read(BlobId blob, Version version, Bytes offset,
     if (offset + out.size() > rec->size) return out_of_range("read past end");
     if (out.empty()) return Status::ok();
     chunk_size = rec->chunk_size;
-    blob_size = rec->size;
     const std::uint64_t lo_chunk = offset / chunk_size;
     const std::uint64_t hi_chunk = (offset + out.size() + chunk_size - 1) / chunk_size;
     arena_.locate(rec->roots[version], lo_chunk, hi_chunk, &locs);
   }
-  (void)blob_size;
   for (const ChunkLocation& loc : locs) {
     const Bytes chunk_base = loc.chunk_index * chunk_size;
     const Bytes lo = std::max(offset, chunk_base);
     const Bytes hi = std::min<Bytes>(offset + out.size(), chunk_base + chunk_size);
     VMSTORM_RETURN_IF_ERROR(read_leaf(
-        loc, chunk_size, lo - chunk_base,
+        loc, lo - chunk_base,
         out.subspan(lo - offset, hi - lo)));
   }
   return Status::ok();
@@ -173,7 +174,7 @@ Status BlobStore::read(BlobId blob, Version version, Bytes offset,
 
 Result<Version> BlobStore::commit_locked(
     BlobId blob, Version base, std::map<std::uint64_t, ChunkLocation> updates) {
-  BlobRecord* rec = const_cast<BlobRecord*>(find_locked(blob));
+  BlobRecord* rec = find_locked(blob);
   if (rec == nullptr) return not_found("blob " + std::to_string(blob));
   const Version latest = static_cast<Version>(rec->roots.size() - 1);
   if (base != latest) {
@@ -280,7 +281,7 @@ Result<ChunkPayload> BlobStore::merge_partial_chunk(
   const Bytes chunk_len = std::min(rec.chunk_size, rec.size - chunk_base);
   std::vector<std::byte> buf(chunk_len);
   const ChunkLocation loc = arena_.locate_one(base_root, chunk_index);
-  VMSTORM_RETURN_IF_ERROR(read_leaf(loc, rec.chunk_size, 0, buf));
+  VMSTORM_RETURN_IF_ERROR(read_leaf(loc, 0, buf));
   std::memcpy(buf.data() + (write_lo - chunk_base), data.data() + data_offset,
               std::min<Bytes>(data.size() - data_offset, chunk_base + chunk_len - write_lo));
   return ChunkPayload::own(std::move(buf));
@@ -318,6 +319,9 @@ Result<Version> BlobStore::write(BlobId blob, Version base, Bytes offset,
     } else {
       std::shared_lock lock(mutex_);
       const BlobRecord* rec = find_locked(blob);
+      // Re-validate after re-acquiring the lock: the record could vanish if
+      // a blob-deletion API is ever added; never dereference unchecked.
+      if (rec == nullptr) return not_found("blob " + std::to_string(blob));
       VMSTORM_ASSIGN_OR_RETURN(
           merged, merge_partial_chunk(*rec, base_root, ci, lo, data, lo - offset));
       w.payload = std::move(merged);
@@ -360,7 +364,7 @@ Result<Version> BlobStore::write_pattern(BlobId blob, Version base,
       {
         std::shared_lock lock(mutex_);
         const ChunkLocation loc = arena_.locate_one(base_root, ci);
-        VMSTORM_RETURN_IF_ERROR(read_leaf(loc, chunk_size, 0, buf));
+        VMSTORM_RETURN_IF_ERROR(read_leaf(loc, 0, buf));
       }
       for (Bytes b = lo; b < hi; ++b) {
         buf[b - chunk_base] = pattern_byte(seed, b);

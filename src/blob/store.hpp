@@ -161,8 +161,10 @@ class BlobStore {
   };
 
   const BlobRecord* find_locked(BlobId blob) const;
+  BlobRecord* find_locked(BlobId blob);
   Result<NodeRef> root_of_locked(BlobId blob, Version version) const;
-  Status read_leaf(const ChunkLocation& loc, Bytes chunk_size, Bytes offset,
+  /// Reads a located leaf; holes read as zeros.
+  Status read_leaf(const ChunkLocation& loc, Bytes offset,
                    std::span<std::byte> out) const;
   Result<Version> commit_locked(BlobId blob, Version base,
                                 std::map<std::uint64_t, ChunkLocation> updates);

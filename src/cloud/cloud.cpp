@@ -59,7 +59,9 @@ void Cloud::upload_image() {
       cluster_ = std::make_unique<blob::SimCluster>(
           engine_, *network_, *store_, provider_nodes, provider_disks,
           manager_node_);
-      image_blob_ = store_->create(cfg_.image_size, cfg_.chunk_size).value();
+      auto blob = store_->create(cfg_.image_size, cfg_.chunk_size);
+      if (!blob.is_ok()) throw std::runtime_error(blob.status().to_string());
+      image_blob_ = blob.value();
       auto v = store_->write_pattern(image_blob_, 0, 0, cfg_.image_size, cfg_.seed);
       if (!v.is_ok()) throw std::runtime_error(v.status().to_string());
       break;
@@ -72,7 +74,9 @@ void Cloud::upload_image() {
       for (std::size_t i = 0; i < n; ++i) server_disks.push_back(disks_[i].get());
       sim_dfs_ = std::make_unique<dfs::SimDfs>(engine_, *network_, *fs_,
                                                server_nodes, server_disks);
-      backing_file_ = fs_->create("base.raw").value();
+      auto file = fs_->create("base.raw");
+      if (!file.is_ok()) throw std::runtime_error(file.status().to_string());
+      backing_file_ = file.value();
       Status st = fs_->write_pattern(backing_file_, 0, cfg_.image_size, cfg_.seed);
       if (!st.is_ok()) throw std::runtime_error(st.to_string());
       break;

@@ -51,13 +51,21 @@ class [[nodiscard]] Status {
 
   static Status ok() { return Status(); }
 
-  bool is_ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  std::string to_string() const {
+  [[nodiscard]] std::string to_string() const {
     if (is_ok()) return "OK";
     return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  /// Must-succeed assertion: throws on a non-OK status. For examples,
+  /// benches and test setup where a failure is a programming error; library
+  /// code under src/ propagates with VMSTORM_RETURN_IF_ERROR instead
+  /// (enforced by tools/lint_status.py).
+  void check() const {
+    if (!is_ok()) throw std::logic_error("Status::check on error: " + to_string());
   }
 
   friend bool operator==(const Status& a, const Status& b) {
@@ -89,34 +97,38 @@ class [[nodiscard]] Result {
     assert(!std::get<1>(data_).is_ok() && "Result from OK status has no value");
   }
 
-  bool is_ok() const { return data_.index() == 0; }
+  [[nodiscard]] bool is_ok() const { return data_.index() == 0; }
   explicit operator bool() const { return is_ok(); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return is_ok() ? Status::ok() : std::get<1>(data_);
   }
 
-  T& value() & {
+  [[nodiscard]] T& value() & {
     if (!is_ok()) throw std::logic_error("Result::value on error: " + status().to_string());
     return std::get<0>(data_);
   }
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     if (!is_ok()) throw std::logic_error("Result::value on error: " + status().to_string());
     return std::get<0>(data_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     if (!is_ok()) throw std::logic_error("Result::value on error: " + status().to_string());
     return std::get<0>(std::move(data_));
   }
 
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return is_ok() ? std::get<0>(data_) : std::move(fallback);
   }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  /// Must-succeed assertion discarding the value: throws on error. Same
+  /// scope rules as Status::check().
+  void check() const { status().check(); }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
 
  private:
   std::variant<T, Status> data_;

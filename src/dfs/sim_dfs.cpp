@@ -40,7 +40,7 @@ sim::Task<void> SimDfs::read_piece(net::NodeId client, FileId file,
 
 sim::Task<void> SimDfs::write_piece(net::NodeId client, FileId file,
                                     StripePiece piece) {
-  auto server_work = [](SimDfs* self, FileId f, StripePiece p) -> sim::Task<void> {
+  auto server_work = [](SimDfs* self, FileId /*file*/, StripePiece p) -> sim::Task<void> {
     co_await self->server_cpus_.at(p.server)->serve(0);
     // PVFS acks a write once it is on the platter (no server-side write
     // cache) — the §5.3 contrast with BlobSeer's asynchronous-write ACK.

@@ -34,7 +34,9 @@ DetachedTask detached_body(Engine* engine, Task<void> task,
   }
   state->done = true;
   --*live_tasks;
-  for (auto waiter : state->waiters) engine->schedule_after(0, waiter);
+  for (auto& rec : state->waiters) {
+    if (rec->alive) engine->schedule_after(0, rec->handle, alive_guard(rec));
+  }
   state->waiters.clear();
 }
 
@@ -43,11 +45,24 @@ DetachedTask detached_body(Engine* engine, Task<void> task,
 Task<void> JoinHandle::join(Engine& engine) {
   struct JoinAwaiter {
     JoinState* state;
-    bool await_ready() const noexcept { return state->done; }
-    void await_suspend(std::coroutine_handle<> h) const {
-      state->waiters.push_back(h);
+    std::shared_ptr<WaitRecord> rec;
+    explicit JoinAwaiter(JoinState* s) : state(s) {}
+    JoinAwaiter(const JoinAwaiter&) = delete;
+    JoinAwaiter& operator=(const JoinAwaiter&) = delete;
+    ~JoinAwaiter() {
+      // Joiner destroyed while suspended: invalidate our record so the
+      // completion path and the engine never resume a dead frame.
+      if (rec && !rec->resumed) rec->alive = false;
     }
-    void await_resume() const noexcept {}
+    bool await_ready() const noexcept { return state->done; }
+    void await_suspend(std::coroutine_handle<> h) {
+      rec = std::make_shared<WaitRecord>();
+      rec->handle = h;
+      state->waiters.push_back(rec);
+    }
+    void await_resume() noexcept {
+      if (rec) rec->resumed = true;
+    }
   };
   (void)engine;
   assert(state_ && "joining an invalid handle");
@@ -55,15 +70,19 @@ Task<void> JoinHandle::join(Engine& engine) {
   if (state_->exception) std::rethrow_exception(state_->exception);
 }
 
-void Engine::schedule_at(SimTime t, std::coroutine_handle<> h) {
+void Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
+                         std::shared_ptr<const bool> alive) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, h});
+  queue_.push(Event{t, next_seq_++, h, std::move(alive)});
 }
 
 JoinHandle Engine::spawn(Task<void> task) {
   auto state = std::make_shared<JoinState>();
   ++live_tasks_;
   DetachedTask d = detached_body(this, std::move(task), state, &live_tasks_);
+  // The detached frame is engine-owned and self-destroys only on completion,
+  // so its startup resumption needs no liveness guard.
+  // lint:allow(unguarded-waiter-schedule) detached frame cannot be destroyed externally
   schedule_after(0, d.handle);
   return JoinHandle(state);
 }
@@ -78,6 +97,14 @@ std::uint64_t Engine::run(SimTime until) {
     }
     queue_.pop();
     assert(ev.time >= now_);
+    if (ev.alive && !*ev.alive) {
+      // The waiter was destroyed after this wakeup was queued; resuming the
+      // handle would be a use-after-free. Drop the event without advancing
+      // simulated time past it (time still moves to ev.time for ordering).
+      now_ = ev.time;
+      ++cancelled_wakeups_;
+      continue;
+    }
     now_ = ev.time;
     ++n;
     ++events_processed_;

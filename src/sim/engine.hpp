@@ -24,11 +24,31 @@ namespace vmstorm::sim {
 
 class Engine;
 
+/// Liveness record for a suspended waiter. Waiter lists (Event, Semaphore,
+/// Channel, JoinState, storage::Disk) store these instead of raw coroutine
+/// handles so a coroutine destroyed while suspended is never resumed: the
+/// awaiter's destructor flips `alive`, the wake path skips dead records, and
+/// the engine re-checks the guard before resuming an already-queued wakeup.
+struct WaitRecord {
+  std::coroutine_handle<> handle{};
+  bool alive = true;    ///< false once the waiting coroutine frame is gone
+  bool resumed = false; ///< set by await_resume: the wakeup was delivered
+  bool granted = false; ///< a permit/item was handed over with the wakeup
+};
+
+/// Aliasing guard into a WaitRecord's `alive` flag, suitable for passing to
+/// Engine::schedule_at/schedule_after. Keeps the record itself alive until
+/// the queued wakeup is consumed or skipped.
+inline std::shared_ptr<const bool> alive_guard(
+    const std::shared_ptr<WaitRecord>& rec) {
+  return {rec, &rec->alive};
+}
+
 /// Shared completion state of a spawned task.
 struct JoinState {
   bool done = false;
   std::exception_ptr exception;
-  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::shared_ptr<WaitRecord>> waiters;
 };
 
 /// Handle returned by Engine::spawn. Join with `co_await handle.join(engine)`
@@ -61,10 +81,16 @@ class Engine {
   SimTime now() const { return now_; }
   double now_seconds() const { return to_seconds(now_); }
 
-  /// Enqueues a coroutine resumption at absolute time t (>= now).
-  void schedule_at(SimTime t, std::coroutine_handle<> h);
-  void schedule_after(SimTime dt, std::coroutine_handle<> h) {
-    schedule_at(now_ + dt, h);
+  /// Enqueues a coroutine resumption at absolute time t (>= now). The
+  /// optional `alive` guard is re-checked just before resumption; a wakeup
+  /// whose guard reads false is dropped (the waiter was destroyed while the
+  /// wakeup was in flight). Wakeups for suspended waiters held in shared
+  /// lists must pass a guard — see WaitRecord / alive_guard.
+  void schedule_at(SimTime t, std::coroutine_handle<> h,
+                   std::shared_ptr<const bool> alive = {});
+  void schedule_after(SimTime dt, std::coroutine_handle<> h,
+                      std::shared_ptr<const bool> alive = {}) {
+    schedule_at(now_ + dt, h, std::move(alive));
   }
 
   /// Awaitable: suspends the current process for dt simulated time.
@@ -87,6 +113,9 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Queued wakeups dropped because their waiter was destroyed first.
+  std::uint64_t cancelled_wakeups() const { return cancelled_wakeups_; }
+
  private:
   struct SleepAwaiter {
     Engine* engine;
@@ -102,6 +131,7 @@ class Engine {
     SimTime time;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
+    std::shared_ptr<const bool> alive;  // empty = unconditional resumption
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -113,6 +143,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t cancelled_wakeups_ = 0;
   std::size_t live_tasks_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };

@@ -5,18 +5,52 @@
 // it again via the engine queue. Wakeups are enqueued at the current
 // simulated time rather than resumed inline, keeping execution order
 // deterministic and re-entrancy-free.
+//
+// Cancellation safety: waiter lists hold WaitRecord entries, not raw
+// coroutine handles. If a waiting coroutine is destroyed while suspended
+// (its Task dropped mid-wait), the awaiter's destructor marks the record
+// dead; wake paths skip dead records and the engine drops already-queued
+// wakeups whose guard went dead. A Semaphore permit or Channel item that was
+// already handed to a subsequently-destroyed waiter is passed on to the next
+// live waiter instead of being lost. Primitives must outlive their waiters.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
 namespace vmstorm::sim {
+
+namespace detail {
+
+/// Creates a registered wait record for handle `h` at the back of `list`.
+template <typename List>
+inline std::shared_ptr<WaitRecord> enlist_waiter(List& list,
+                                                 std::coroutine_handle<> h) {
+  auto rec = std::make_shared<WaitRecord>();
+  rec->handle = h;
+  list.push_back(rec);
+  return rec;
+}
+
+/// Live (non-abandoned) records in a waiter list.
+template <typename List>
+inline std::size_t live_waiters(const List& list) {
+  std::size_t n = 0;
+  for (const auto& rec : list) {
+    if (rec->alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace detail
 
 /// One-shot broadcast event. set() wakes every current and future waiter.
 class Event {
@@ -28,29 +62,44 @@ class Event {
   void set() {
     if (set_) return;
     set_ = true;
-    for (auto h : waiters_) engine_->schedule_after(0, h);
+    for (auto& rec : waiters_) {
+      if (rec->alive) engine_->schedule_after(0, rec->handle, alive_guard(rec));
+    }
     waiters_.clear();
   }
 
   auto wait() {
     struct Awaiter {
       Event* ev;
+      std::shared_ptr<WaitRecord> rec;
+      explicit Awaiter(Event* e) : ev(e) {}
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+      ~Awaiter() {
+        if (rec && !rec->resumed) rec->alive = false;
+      }
       bool await_ready() const noexcept { return ev->set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        ev->waiters_.push_back(h);
+        rec = detail::enlist_waiter(ev->waiters_, h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept {
+        if (rec) rec->resumed = true;
+      }
     };
     return Awaiter{this};
   }
 
+  std::size_t waiting() const { return detail::live_waiters(waiters_); }
+
  private:
   Engine* engine_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::shared_ptr<WaitRecord>> waiters_;
 };
 
-/// Counting semaphore with FIFO wakeup order.
+/// Counting semaphore with FIFO wakeup order. A waiter destroyed while
+/// suspended is skipped; if a permit was already handed to it, the permit is
+/// re-released so later waiters are not starved.
 class Semaphore {
  public:
   Semaphore(Engine& engine, std::size_t initial)
@@ -59,6 +108,16 @@ class Semaphore {
   auto acquire() {
     struct Awaiter {
       Semaphore* sem;
+      std::shared_ptr<WaitRecord> rec;
+      explicit Awaiter(Semaphore* s) : sem(s) {}
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+      ~Awaiter() {
+        if (!rec || rec->resumed) return;
+        rec->alive = false;
+        // Destroyed with a permit already in flight to us: hand it on.
+        if (rec->granted) sem->release();
+      }
       bool await_ready() {
         if (sem->count_ > 0) {
           --sem->count_;
@@ -67,31 +126,35 @@ class Semaphore {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        sem->waiters_.push_back(h);
+        rec = detail::enlist_waiter(sem->waiters_, h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept {
+        if (rec) rec->resumed = true;
+      }
     };
     return Awaiter{this};
   }
 
   void release() {
-    if (!waiters_.empty()) {
-      auto h = waiters_.front();
+    while (!waiters_.empty()) {
+      auto rec = std::move(waiters_.front());
       waiters_.pop_front();
+      if (!rec->alive) continue;  // waiter abandoned while queued
       // The permit is handed directly to the woken waiter.
-      engine_->schedule_after(0, h);
-    } else {
-      ++count_;
+      rec->granted = true;
+      engine_->schedule_after(0, rec->handle, alive_guard(rec));
+      return;
     }
+    ++count_;
   }
 
   std::size_t available() const { return count_; }
-  std::size_t waiting() const { return waiters_.size(); }
+  std::size_t waiting() const { return detail::live_waiters(waiters_); }
 
  private:
   Engine* engine_;
   std::size_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<std::shared_ptr<WaitRecord>> waiters_;
 };
 
 /// Unbounded single-direction channel of T. Multiple producers, multiple
@@ -103,22 +166,30 @@ class Channel {
 
   void push(T value) {
     items_.push_back(std::move(value));
-    if (!waiters_.empty()) {
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      engine_->schedule_after(0, h);
-    }
+    wake_one();
   }
 
   /// Awaitable pop; suspends until an item is available.
   Task<T> pop() {
     struct Awaiter {
       Channel* ch;
+      std::shared_ptr<WaitRecord> rec;
+      explicit Awaiter(Channel* c) : ch(c) {}
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+      ~Awaiter() {
+        if (!rec || rec->resumed) return;
+        rec->alive = false;
+        // An item was already routed to us; wake another consumer for it.
+        if (rec->granted && !ch->items_.empty()) ch->wake_one();
+      }
       bool await_ready() const noexcept { return !ch->items_.empty(); }
       void await_suspend(std::coroutine_handle<> h) {
-        ch->waiters_.push_back(h);
+        rec = detail::enlist_waiter(ch->waiters_, h);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept {
+        if (rec) rec->resumed = true;
+      }
     };
     // Under multiple consumers a wakeup can race with another consumer; loop.
     while (items_.empty()) co_await Awaiter{this};
@@ -131,9 +202,20 @@ class Channel {
   bool empty() const { return items_.empty(); }
 
  private:
+  void wake_one() {
+    while (!waiters_.empty()) {
+      auto rec = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (!rec->alive) continue;
+      rec->granted = true;
+      engine_->schedule_after(0, rec->handle, alive_guard(rec));
+      return;
+    }
+  }
+
   Engine* engine_;
   std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<std::shared_ptr<WaitRecord>> waiters_;
 };
 
 /// Spawns all tasks and waits for every one to finish. Exceptions from

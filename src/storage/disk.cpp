@@ -33,14 +33,26 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
   struct Admission {
     Disk* disk;
     Bytes need;
+    std::shared_ptr<sim::WaitRecord> rec;
+    Admission(Disk* d, Bytes n) : disk(d), need(n) {}
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    ~Admission() {
+      if (rec && !rec->resumed) rec->alive = false;
+    }
     bool await_ready() const {
       return disk->dirty_bytes_ == 0 ||
              disk->dirty_bytes_ + need <= disk->cfg_.dirty_limit;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      disk->dirty_waiters_.push_back({need, h});
+      auto r = std::make_shared<sim::WaitRecord>();
+      r->handle = h;
+      rec = r;
+      disk->dirty_waiters_.push_back({need, std::move(r)});
     }
-    void await_resume() const noexcept {}
+    void await_resume() noexcept {
+      if (rec) rec->resumed = true;
+    }
   };
   while (dirty_bytes_ != 0 && dirty_bytes_ + bytes > cfg_.dirty_limit) {
     co_await Admission{this, bytes};
@@ -58,7 +70,11 @@ sim::Task<void> Disk::flusher(Bytes bytes) {
   --flushes_in_flight_;
   wake_dirty_waiters();
   if (flushes_in_flight_ == 0) {
-    for (auto h : flush_waiters_) engine_->schedule_after(0, h);
+    for (auto& rec : flush_waiters_) {
+      if (rec->alive) {
+        engine_->schedule_after(0, rec->handle, sim::alive_guard(rec));
+      }
+    }
     flush_waiters_.clear();
   }
 }
@@ -66,9 +82,13 @@ sim::Task<void> Disk::flusher(Bytes bytes) {
 void Disk::wake_dirty_waiters() {
   // Admit waiters FIFO while the budget allows; they re-check on resume.
   while (!dirty_waiters_.empty()) {
-    const DirtyWaiter& w = dirty_waiters_.front();
+    DirtyWaiter& w = dirty_waiters_.front();
+    if (!w.rec->alive) {
+      dirty_waiters_.pop_front();
+      continue;
+    }
     if (dirty_bytes_ != 0 && dirty_bytes_ + w.need > cfg_.dirty_limit) break;
-    engine_->schedule_after(0, w.handle);
+    engine_->schedule_after(0, w.rec->handle, sim::alive_guard(w.rec));
     dirty_waiters_.pop_front();
   }
 }
@@ -76,11 +96,22 @@ void Disk::wake_dirty_waiters() {
 sim::Task<void> Disk::flush() {
   struct FlushAwaiter {
     Disk* disk;
+    std::shared_ptr<sim::WaitRecord> rec;
+    explicit FlushAwaiter(Disk* d) : disk(d) {}
+    FlushAwaiter(const FlushAwaiter&) = delete;
+    FlushAwaiter& operator=(const FlushAwaiter&) = delete;
+    ~FlushAwaiter() {
+      if (rec && !rec->resumed) rec->alive = false;
+    }
     bool await_ready() const { return disk->flushes_in_flight_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
-      disk->flush_waiters_.push_back(h);
+      rec = std::make_shared<sim::WaitRecord>();
+      rec->handle = h;
+      disk->flush_waiters_.push_back(rec);
     }
-    void await_resume() const noexcept {}
+    void await_resume() noexcept {
+      if (rec) rec->resumed = true;
+    }
   };
   while (flushes_in_flight_ != 0) co_await FlushAwaiter{this};
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -77,7 +78,7 @@ class Disk {
 
   struct DirtyWaiter {
     Bytes need;
-    std::coroutine_handle<> handle;
+    std::shared_ptr<sim::WaitRecord> rec;
   };
 
   sim::Engine* engine_;
@@ -94,7 +95,7 @@ class Disk {
   Bytes dirty_bytes_ = 0;
   std::deque<DirtyWaiter> dirty_waiters_;
   std::uint64_t flushes_in_flight_ = 0;
-  std::vector<std::coroutine_handle<>> flush_waiters_;
+  std::vector<std::shared_ptr<sim::WaitRecord>> flush_waiters_;
 };
 
 }  // namespace vmstorm::storage

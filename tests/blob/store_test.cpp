@@ -85,8 +85,8 @@ TEST(BlobStore, ShadowingOldVersionImmutable) {
   BlobId b = s.create(4096, 512).value();
   auto d1 = make_bytes(512, 1);
   auto d2 = make_bytes(512, 2);
-  s.write(b, 0, 0, d1);
-  s.write(b, 1, 0, d2);
+  ASSERT_TRUE(s.write(b, 0, 0, d1).is_ok());
+  ASSERT_TRUE(s.write(b, 1, 0, d2).is_ok());
   EXPECT_EQ(read_range(s, b, 1, 0, 512), d1);  // v1 unchanged
   EXPECT_EQ(read_range(s, b, 2, 0, 512), d2);
 }
@@ -128,7 +128,7 @@ TEST(BlobStore, CloneSharesContent) {
   BlobStore s;
   BlobId a = s.create(4096, 512).value();
   auto d = make_bytes(4096, 3);
-  s.write(a, 0, 0, d);
+  ASSERT_TRUE(s.write(a, 0, 0, d).is_ok());
   const Bytes stored_before = s.stored_bytes();
 
   BlobId b = s.clone(a, 1).value();
@@ -140,7 +140,7 @@ TEST(BlobStore, CloneDivergesIndependently) {
   BlobStore s;
   BlobId a = s.create(4096, 512).value();
   auto base = make_bytes(4096, 3);
-  s.write(a, 0, 0, base);
+  ASSERT_TRUE(s.write(a, 0, 0, base).is_ok());
   BlobId b = s.clone(a, 1).value();
 
   auto patch = make_bytes(512, 5);
@@ -188,7 +188,7 @@ TEST(BlobStore, WritePatternMatchesExplicitBytes) {
 TEST(BlobStore, LocateReportsPlacements) {
   BlobStore s(StoreConfig{.providers = 4});
   BlobId a = s.create(4096, 512).value();
-  s.write_pattern(a, 0, 0, 4096, 1);
+  ASSERT_TRUE(s.write_pattern(a, 0, 0, 4096, 1).is_ok());
   auto locs = s.locate(a, 1, ByteRange{0, 4096});
   ASSERT_TRUE(locs.is_ok());
   ASSERT_EQ(locs->size(), 8u);

@@ -32,7 +32,7 @@ TEST(Result, HoldsError) {
   EXPECT_FALSE(r.is_ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(r.value_or(-1), -1);
-  EXPECT_THROW(r.value(), std::logic_error);
+  EXPECT_THROW((void)r.value(), std::logic_error);
 }
 
 TEST(Result, MoveOutValue) {

@@ -176,7 +176,7 @@ TEST(ImgFs, PersistsAcrossMount) {
     auto fs = FileSystem::format(dev, small_opts()).value();
     InodeId f = fs->create("persist.me").value();
     ASSERT_TRUE(fs->write(f, 0, make_bytes(7777, 5)).is_ok());
-    fs->create("other").value();
+    ASSERT_TRUE(fs->create("other").is_ok());
   }
   auto fs = FileSystem::mount(dev);
   ASSERT_TRUE(fs.is_ok()) << fs.status().to_string();
@@ -199,8 +199,8 @@ TEST(ImgFs, MountRejectsUnformattedDevice) {
 TEST(ImgFs, ListReportsFiles) {
   MemDevice dev(1_MiB);
   auto fs = FileSystem::format(dev, small_opts()).value();
-  fs->create("a").value();
-  fs->create("b").value();
+  ASSERT_TRUE(fs->create("a").is_ok());
+  ASSERT_TRUE(fs->create("b").is_ok());
   auto files = fs->list();
   ASSERT_EQ(files.size(), 2u);
   EXPECT_EQ(files[0].name, "a");

@@ -41,7 +41,7 @@ std::string read_file(imgfs::FileSystem& fs, const std::string& name) {
 TEST(EndToEnd, GuestFilesystemOverMirroredImage) {
   blob::BlobStore store(blob::StoreConfig{.providers = 4});
   blob::BlobId image = store.create(16_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 16_MiB, 1).value();
+  store.write_pattern(image, 0, 0, 16_MiB, 1).check();
 
   mirror::VirtualDiskOptions opts;
   opts.local_path = tmp_path("guestfs");
@@ -57,7 +57,7 @@ TEST(EndToEnd, GuestFilesystemOverMirroredImage) {
   ASSERT_TRUE(fs->write(f, 0, payload).is_ok());
 
   // Snapshot the whole image while the FS lives in it.
-  disk->clone().value();
+  disk->clone().check();
   blob::Version v = disk->commit().value();
 
   // A second VM opens the SNAPSHOT on a different "node" and finds the
@@ -79,7 +79,7 @@ TEST(EndToEnd, GuestFilesystemOverMirroredImage) {
 TEST(EndToEnd, DebuggingWorkflowClonesAreIndependent) {
   blob::BlobStore store(blob::StoreConfig{.providers = 4});
   blob::BlobId image = store.create(8_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 8_MiB, 1).value();
+  store.write_pattern(image, 0, 0, 8_MiB, 1).check();
 
   mirror::VirtualDiskOptions opts;
   opts.local_path = tmp_path("dbg");
@@ -104,7 +104,7 @@ TEST(EndToEnd, DebuggingWorkflowClonesAreIndependent) {
     ASSERT_TRUE(tfs->truncate(id, 0).is_ok());
     ASSERT_TRUE(
         tfs->write(id, 0, to_bytes("threads=" + std::to_string(attempt))).is_ok());
-    tdisk->commit().value();
+    tdisk->commit().check();
     trials.push_back(trial);
   }
 
@@ -129,7 +129,7 @@ TEST(EndToEnd, DebuggingWorkflowClonesAreIndependent) {
 TEST(EndToEnd, ReplicatedStoreSurvivesProviderLossUnderMirror) {
   blob::BlobStore store(blob::StoreConfig{.providers = 4, .replication = 2});
   blob::BlobId image = store.create(4_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 4_MiB, 3).value();
+  store.write_pattern(image, 0, 0, 4_MiB, 3).check();
 
   // Kill the primary replica of every chunk before any mirroring happens.
   auto locs = store.locate(image, 1, ByteRange{0, 4_MiB}).value();
@@ -152,12 +152,12 @@ TEST(EndToEnd, ChainOfCommitsReadsBackExactly) {
   blob::BlobStore store(blob::StoreConfig{.providers = 4});
   const Bytes size = 2_MiB, chunk = 128_KiB;
   blob::BlobId image = store.create(size, chunk).value();
-  store.write_pattern(image, 0, 0, size, 1).value();
+  store.write_pattern(image, 0, 0, size, 1).check();
 
   mirror::VirtualDiskOptions opts;
   opts.local_path = tmp_path("chain");
   auto disk = mirror::VirtualDisk::open(store, image, 1, opts).value();
-  disk->clone().value();
+  disk->clone().check();
 
   Rng rng(11);
   std::vector<std::vector<std::byte>> images;  // reference per version
@@ -190,7 +190,7 @@ TEST(EndToEnd, MonteCarloPiOnVirtualCluster) {
   // snapshot path, and that π comes out right.
   blob::BlobStore store(blob::StoreConfig{.providers = 4});
   blob::BlobId image = store.create(4_MiB, 256_KiB).value();
-  store.write_pattern(image, 0, 0, 4_MiB, 1).value();
+  store.write_pattern(image, 0, 0, 4_MiB, 1).check();
 
   constexpr int kWorkers = 5;
   std::vector<std::pair<blob::BlobId, blob::Version>> snapshots;
@@ -202,7 +202,7 @@ TEST(EndToEnd, MonteCarloPiOnVirtualCluster) {
     std::vector<std::byte> rec(sizeof(tally));
     std::memcpy(rec.data(), &tally, sizeof(tally));
     ASSERT_TRUE(disk->pwrite(1_MiB, rec).is_ok());
-    disk->clone().value();
+    disk->clone().check();
     blob::Version v = disk->commit().value();
     snapshots.emplace_back(disk->target_blob(), v);
   }

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Status-discipline lint for vmstorm (run as the `lint_status` ctest).
+
+The compiler already enforces most Status discipline through the
+[[nodiscard]] class attributes on Status/Result/Task; this lint catches the
+patterns that slip through the type system:
+
+  raw-waiter-container   A waiter list declared as vector/deque of raw
+                         std::coroutine_handle<>. Suspended coroutines can be
+                         destroyed; resuming a stale handle is use-after-free.
+                         Store std::shared_ptr<sim::WaitRecord> and schedule
+                         wakeups with sim::alive_guard(rec) instead.
+
+  unguarded-waiter-schedule
+                         engine->schedule_at/schedule_after of a handle taken
+                         from a waiter record/list without the alive guard
+                         (third argument). A coroutine's own await_suspend
+                         parameter (`h`) scheduled inline is exempt.
+
+  void-suppressed-status (void)-casting away a call that returns Status or
+                         Result<T> (defeats [[nodiscard]] silently). Handle
+                         the status or propagate it.
+
+  discarded-status       A bare statement call of a function declared to
+                         return Status/Result (reached through a reference
+                         the compiler cannot see through, or in a macro).
+
+  naked-value            Result<T>::value() (or value_unchecked, or the
+                         must-succeed .check() helper) in library code without
+                         an is_ok()/truthiness guard in the preceding lines.
+                         Guard it, use VMSTORM_ASSIGN_OR_RETURN, or annotate
+                         with `// lint:allow(naked-value)` and a reason.
+
+Rules apply to src/**. tests/, bench/, examples/ and tools/ may use .value()
+freely (a crash there is a test failure, not data corruption), but the
+waiter-container rules apply everywhere. Suppress a finding with
+`// lint:allow(<rule>) <reason>` on the same line or the line above.
+
+Exit status: 0 clean, 1 violations (printed as file:line: rule: message).
+"""
+
+import os
+import re
+import sys
+
+GUARD_LOOKBACK_LINES = 8
+
+RULE_DOCS = {
+    "raw-waiter-container":
+        "raw coroutine-handle waiter container; store "
+        "std::shared_ptr<sim::WaitRecord> and wake via sim::alive_guard",
+    "unguarded-waiter-schedule":
+        "scheduling a stored waiter handle without an alive guard; pass "
+        "sim::alive_guard(rec) as the third argument",
+    "void-suppressed-status":
+        "(void)-cast discards a Status/Result; handle or propagate it",
+    "discarded-status":
+        "bare call discards a Status/Result return value",
+    "naked-value":
+        "Result::value() without a preceding is_ok()/truthiness guard",
+}
+
+RE_ALLOW = re.compile(r"lint:allow\((?P<rules>[\w\-, ]+)\)")
+RE_RAW_WAITER = re.compile(
+    r"(?:std::)?(?:vector|deque)\s*<\s*std::coroutine_handle\b")
+RE_SCHEDULE = re.compile(
+    r"schedule_(?:at|after)\s*\(\s*(?P<args>[^;]*)\)")
+RE_VALUE = re.compile(r"[\w\)\]]\s*\.\s*(?:value(?:_unchecked)?|check)\s*\(\s*\)")
+RE_DECL_STATUS_FN = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:virtual\s+|static\s+|inline\s+|friend\s+|constexpr\s+)*"
+    r"(?:vmstorm::)?(?:Status|Result\s*<[^;{()]*>)\s+"
+    r"(?P<name>\w+)\s*\(")
+RE_DECL_VOID_FN = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*"
+    r"void\s+(?P<name>\w+)\s*\(")
+RE_BARE_CALL = re.compile(
+    r"^\s*(?:\w+(?:\.|->))?(?P<name>\w+)\s*\([^;]*\)\s*;\s*(?://.*)?$")
+RE_VOID_CAST_CALL = re.compile(
+    r"\(void\)\s*(?:\w+(?:\.|->))*(?P<name>\w+)\s*\(")
+
+
+def strip_strings_and_comments(line):
+    """Crude removal of string literals and // comments (keeps length-ish)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def collect_registry(src_root):
+    """Names of functions declared in src headers returning Status/Result,
+    and names that ALSO appear with a void return (excluded from the
+    bare-call rule to avoid cross-class false positives)."""
+    status_fns, void_fns = set(), set()
+    for path in walk_sources(src_root, exts=(".hpp", ".h")):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for line in f:
+                m = RE_DECL_STATUS_FN.match(line)
+                if m:
+                    status_fns.add(m.group("name"))
+                m = RE_DECL_VOID_FN.match(line)
+                if m:
+                    void_fns.add(m.group("name"))
+    return status_fns - void_fns
+
+
+def walk_sources(root, exts=(".hpp", ".h", ".cpp", ".cc")):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not d.startswith(".")
+                       and not d.startswith("build")]
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def allowed(lines, idx, rule):
+    """lint:allow(<rule>) on this line or the previous one."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = RE_ALLOW.search(lines[j])
+        if m and rule in [r.strip() for r in m.group("rules").split(",")]:
+            return True
+    return False
+
+
+def has_value_guard(lines, idx):
+    """An is_ok()/truthiness guard within the preceding lines, or the call
+    itself is guarded on the same line."""
+    window = lines[max(0, idx - GUARD_LOOKBACK_LINES):idx + 1]
+    text = "\n".join(window)
+    if re.search(r"\bis_ok\s*\(\s*\)", text):
+        return True
+    # `if (result)` / `while (r)` style truthiness checks.
+    if re.search(r"\b(?:if|while)\s*\(\s*!?\s*\*?\w+\s*[\)&|]", text):
+        return True
+    return False
+
+
+def schedule_violations(code):
+    """Two-argument schedule calls whose handle came from a record/list."""
+    for m in RE_SCHEDULE.finditer(code):
+        args = m.group("args")
+        # Count top-level commas to distinguish 2-arg from 3-arg calls.
+        depth, commas = 0, 0
+        for ch in args:
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                commas += 1
+        if commas != 1:
+            continue  # guard already passed (or malformed; compiler's job)
+        handle_expr = args.split(",", 1)[1].strip()
+        if re.search(r"(?:->|\.)\s*handle\b|\brec\b|\bwaiter", handle_expr):
+            yield handle_expr
+
+
+def lint_file(path, rel, registry, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    in_src = rel.startswith("src" + os.sep)
+    is_status_hpp = rel == os.path.join("src", "common", "status.hpp")
+
+    for idx, raw in enumerate(lines):
+        code = strip_strings_and_comments(raw)
+
+        def report(rule, detail=""):
+            if not allowed(lines, idx, rule):
+                msg = RULE_DOCS[rule] + (f" [{detail}]" if detail else "")
+                findings.append((rel, idx + 1, rule, msg))
+
+        # Everywhere: raw waiter containers and unguarded waiter wakeups.
+        if RE_RAW_WAITER.search(code):
+            report("raw-waiter-container")
+        for handle_expr in schedule_violations(code):
+            report("unguarded-waiter-schedule", handle_expr)
+
+        if not in_src or is_status_hpp:
+            continue
+
+        # src-only: Status/Result discard and unguarded value().
+        m = RE_VOID_CAST_CALL.search(code)
+        if m and m.group("name") in registry:
+            report("void-suppressed-status", m.group("name"))
+
+        m = RE_BARE_CALL.match(code)
+        if (m and m.group("name") in registry
+                and "co_await" not in code and "co_yield" not in code
+                and code.count("(") == code.count(")")):
+            # Unbalanced parens = continuation of a multi-line macro call
+            # (e.g. VMSTORM_RETURN_IF_ERROR), not a bare statement.
+            report("discarded-status", m.group("name"))
+
+        if RE_VALUE.search(code) and not has_value_guard(lines, idx):
+            report("naked-value")
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        print(f"lint_status: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    registry = collect_registry(src_root)
+    findings = []
+    scan_roots = [d for d in ("src", "tests", "bench", "examples", "tools")
+                  if os.path.isdir(os.path.join(root, d))]
+    n_files = 0
+    for top in scan_roots:
+        for path in walk_sources(os.path.join(root, top)):
+            n_files += 1
+            lint_file(path, os.path.relpath(path, root), registry, findings)
+
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: {rule}: {msg}")
+    status = "FAILED" if findings else "OK"
+    print(f"lint_status: {status} — {len(findings)} finding(s) in {n_files} "
+          f"file(s), {len(registry)} Status/Result-returning function name(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

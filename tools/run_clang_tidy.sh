@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# clang-tidy runner for vmstorm.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [--strict] [--build-dir DIR] [FILE...]
+#
+# With no FILE arguments, lints the gated libraries (src/common, src/blob,
+# src/sim). Uses the compile-commands database from the build tree
+# (configured automatically if missing). Looks for clang-tidy under its
+# plain and versioned names; without --strict, a missing binary is a skip
+# (exit 0) so local workflows on toolchains without clang degrade
+# gracefully — CI always passes --strict.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+STRICT=0
+BUILD_DIR=build
+FILES=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --strict) STRICT=1 ;;
+    --build-dir) shift; BUILD_DIR="$1" ;;
+    -h|--help) sed -n '2,13p' "$0"; exit 0 ;;
+    *) FILES+=("$1") ;;
+  esac
+  shift
+done
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  if [ "$STRICT" = 1 ]; then
+    echo "run_clang_tidy: clang-tidy not found (strict mode)" >&2
+    exit 1
+  fi
+  echo "run_clang_tidy: clang-tidy not found; SKIPPED (install clang-tidy," \
+       "or rely on CI which runs it strictly)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: configuring $BUILD_DIR for compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  # The gated set: libraries that must stay tidy-clean (see ISSUE/DESIGN).
+  while IFS= read -r f; do
+    FILES+=("$f")
+  done < <(find src/common src/blob src/sim -name '*.cpp' | sort)
+fi
+
+echo "run_clang_tidy: $TIDY over ${#FILES[@]} file(s) (db: $BUILD_DIR)" >&2
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+status=$?
+if [ $status -eq 0 ]; then
+  echo "run_clang_tidy: OK" >&2
+fi
+exit $status
