@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 
@@ -12,15 +13,31 @@ int run() {
   const std::size_t n = bench::quick_mode() ? 8 : 64;
   const auto tp = bench::paper_boot_params();
 
+  bench::Report report("ablation_chunk_size", "Ablation",
+                       "chunk size trade-off (§3.1.3), ours");
+  bench::report_cloud_config(report, bench::paper_cloud_config(n));
+  auto& boot = report.panel("avg_boot", "chunk_bytes", "seconds");
+  auto& comp = report.panel("completion", "chunk_bytes", "seconds");
+  auto& traf = report.panel("traffic_per_instance", "chunk_bytes", "MB");
+  auto& msgp = report.panel("messages_per_instance", "chunk_bytes", "count");
+
   Table t({"chunk", "avg boot (s)", "completion (s)", "traffic/inst (MB)",
            "remote fetches/inst"});
-  for (Bytes chunk : {64_KiB, 128_KiB, 256_KiB, 512_KiB, 1_MiB, 4_MiB}) {
+  const std::vector<Bytes> chunks = {64_KiB, 128_KiB, 256_KiB,
+                                     512_KiB, 1_MiB, 4_MiB};
+  for (Bytes chunk : chunks) {
     auto cfg = bench::paper_cloud_config(n);
     cfg.chunk_size = chunk;
     cloud::Cloud c(cfg, cloud::Strategy::kOurs);
     auto m = c.multideploy(n, tp);
     const double msgs =
         static_cast<double>(c.network().total_messages()) / n;
+    const double x = static_cast<double>(chunk);
+    boot.at("ours").add(x, m.boot_seconds.mean());
+    comp.at("ours").add(x, m.completion_seconds);
+    traf.at("ours").add(x, static_cast<double>(m.network_traffic) / 1e6 / n);
+    msgp.at("ours").add(x, msgs);
+    if (chunk == chunks.back()) bench::capture_obs(report, c);
     t.add_row({format_bytes(static_cast<double>(chunk)),
                Table::num(m.boot_seconds.mean(), 2),
                Table::num(m.completion_seconds, 2),
@@ -30,6 +47,7 @@ int run() {
                  format_bytes(static_cast<double>(chunk)).c_str());
   }
   t.print();
+  report.write();
   std::printf("\nThe paper fixes 256 KiB as the sweet spot between per-chunk\n"
               "overhead (small chunks) and false sharing (large chunks).\n");
   return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 
@@ -17,6 +18,16 @@ int run() {
   bench::print_header("Extension", "snapshot deduplication (§7 future work)");
   const std::size_t n = bench::quick_mode() ? 8 : 32;
   const auto tp = bench::paper_boot_params();
+
+  bench::Report report("ablation_dedup", "Extension",
+                       "snapshot deduplication (§7 future work)");
+  bench::report_cloud_config(report, bench::paper_cloud_config(n));
+  report.config("snapshot_shared_fraction", 0.6);
+  auto& grow = report.panel("repo_growth_per_instance", "dedup", "MB");
+  auto& traf = report.panel("snapshot_traffic", "dedup", "GB");
+  auto& comp = report.panel("completion", "dedup", "seconds");
+  auto& hits = report.panel("dedup_hits", "dedup", "count");
+  auto& save = report.panel("saved", "dedup", "GB");
 
   Table t({"dedup", "repo growth/inst (MB)", "snapshot traffic (GB)",
            "completion (s)", "dedup hits", "saved (GB)"});
@@ -31,16 +42,26 @@ int run() {
       std::fprintf(stderr, "snapshot failed\n");
       return 1;
     }
-    t.add_row({dedup ? "on" : "off",
+    const char* label = dedup ? "on" : "off";
+    grow.at("ours").add(label, static_cast<double>(s->repository_growth) /
+                                   1e6 / static_cast<double>(n));
+    traf.at("ours").add(label, static_cast<double>(s->network_traffic) / 1e9);
+    comp.at("ours").add(label, s->completion_seconds);
+    hits.at("ours").add(label, static_cast<double>(c.dedup_hits()));
+    save.at("ours").add(label,
+                        static_cast<double>(c.dedup_saved_bytes()) / 1e9);
+    if (dedup) bench::capture_obs(report, c);
+    t.add_row({label,
                Table::num(static_cast<double>(s->repository_growth) / 1e6 /
                               static_cast<double>(n), 1),
                Table::num(static_cast<double>(s->network_traffic) / 1e9, 2),
                Table::num(s->completion_seconds, 2),
                std::to_string(c.dedup_hits()),
                Table::num(static_cast<double>(c.dedup_saved_bytes()) / 1e9, 2)});
-    std::fprintf(stderr, "  [dedup] %s done\n", dedup ? "on" : "off");
+    std::fprintf(stderr, "  [dedup] %s done\n", label);
   }
   t.print();
+  report.write();
   std::printf("\nDeduplicated chunks skip both storage and the commit-time\n"
               "data push (only metadata is written), cutting snapshot\n"
               "traffic and repository growth by roughly the shared fraction.\n");

@@ -4,8 +4,10 @@
 // Multideployment at fixed N for the four combinations, reporting boot
 // time, traffic, request counts and mirror fragmentation.
 #include <cstdio>
+#include <string>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 
@@ -13,6 +15,14 @@ int run() {
   bench::print_header("Ablation", "mirroring strategies (§3.3), ours");
   const std::size_t n = bench::quick_mode() ? 8 : 32;
   const auto tp = bench::paper_boot_params();
+
+  bench::Report report("ablation_mirror_strategy", "Ablation",
+                       "mirroring strategies (§3.3), ours");
+  bench::report_cloud_config(report, bench::paper_cloud_config(n));
+  auto& boot = report.panel("avg_boot", "combination", "seconds");
+  auto& comp = report.panel("completion", "combination", "seconds");
+  auto& traf = report.panel("traffic_per_instance", "combination", "MB");
+  auto& msgp = report.panel("messages_per_instance", "combination", "count");
 
   Table t({"prefetch", "gap-fill", "avg boot (s)", "completion (s)",
            "traffic/inst (MB)", "msgs/inst"});
@@ -23,6 +33,16 @@ int run() {
       cfg.mirror_single_region_per_chunk = s2;
       cloud::Cloud c(cfg, cloud::Strategy::kOurs);
       auto m = c.multideploy(n, tp);
+      const std::string combo = std::string("prefetch=") + (s1 ? "on" : "off") +
+                                ",gapfill=" + (s2 ? "on" : "off");
+      boot.at("ours").add(combo, m.boot_seconds.mean());
+      comp.at("ours").add(combo, m.completion_seconds);
+      traf.at("ours").add(combo,
+                          static_cast<double>(m.network_traffic) / 1e6 / n);
+      msgp.at("ours").add(
+          combo, static_cast<double>(c.network().total_messages()) / n);
+      // Snapshot the fully-enabled configuration (both strategies on).
+      if (s1 && s2) bench::capture_obs(report, c);
       t.add_row({s1 ? "on" : "off", s2 ? "on" : "off",
                  Table::num(m.boot_seconds.mean(), 2),
                  Table::num(m.completion_seconds, 2),
@@ -32,6 +52,7 @@ int run() {
     }
   }
   t.print();
+  report.write();
   std::printf("\nWhole-chunk prefetch trades a little extra traffic for far\n"
               "fewer (and cheaper) remote requests; gap filling bounds\n"
               "fragmentation metadata to one region per chunk.\n");

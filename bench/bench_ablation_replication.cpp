@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 
@@ -12,6 +13,15 @@ int run() {
   bench::print_header("Ablation", "replication degree (§3.1.3), ours");
   const std::size_t n = bench::quick_mode() ? 8 : 32;
   const auto tp = bench::paper_boot_params();
+
+  bench::Report report("ablation_replication", "Ablation",
+                       "replication degree (§3.1.3), ours");
+  bench::report_cloud_config(report, bench::paper_cloud_config(n));
+  auto& repo = report.panel("repo_image", "replicas", "GB");
+  auto& boot = report.panel("avg_boot", "replicas", "seconds");
+  auto& dtraf = report.panel("deploy_traffic", "replicas", "GB");
+  auto& snapt = report.panel("avg_snapshot", "replicas", "seconds");
+  auto& straf = report.panel("snapshot_traffic", "replicas", "GB");
 
   Table t({"replicas", "repo image (GB)", "avg boot (s)", "deploy traffic (GB)",
            "avg snapshot (s)", "snapshot traffic (GB)"});
@@ -26,6 +36,13 @@ int run() {
       std::fprintf(stderr, "snapshot failed\n");
       return 1;
     }
+    const double x = static_cast<double>(r);
+    repo.at("ours").add(x, repo_gb);
+    boot.at("ours").add(x, dep.boot_seconds.mean());
+    dtraf.at("ours").add(x, static_cast<double>(dep.network_traffic) / 1e9);
+    snapt.at("ours").add(x, snap->snapshot_seconds.mean());
+    straf.at("ours").add(x, static_cast<double>(snap->network_traffic) / 1e9);
+    if (r == 3u) bench::capture_obs(report, c);
     t.add_row({std::to_string(r), Table::num(repo_gb, 2),
                Table::num(dep.boot_seconds.mean(), 2),
                Table::num(static_cast<double>(dep.network_traffic) / 1e9, 2),
@@ -34,6 +51,7 @@ int run() {
     std::fprintf(stderr, "  [replication] r=%zu done\n", r);
   }
   t.print();
+  report.write();
   std::printf("\nReplication multiplies storage and snapshot push traffic,\n"
               "while deployment reads can pick any replica.\n");
   return 0;

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 namespace {
@@ -44,6 +45,10 @@ int run() {
   const auto sweep = bench::instance_sweep();
   const auto tp = bench::paper_boot_params();
 
+  bench::Report report("fig4_multideployment", "Figure 4",
+                       "multideployment performance");
+  bench::report_cloud_config(report, bench::paper_cloud_config(sweep.back()));
+
   std::map<Strategy, std::map<std::size_t, Row>> rows;
   for (Strategy s :
        {Strategy::kPrepropagation, Strategy::kQcowOverPvfs, Strategy::kOurs}) {
@@ -55,11 +60,48 @@ int run() {
       r.completion = m.completion_seconds;
       r.traffic_gb = static_cast<double>(m.network_traffic) / 1e9;
       rows[s][n] = r;
+      // Metrics snapshot from the biggest "ours" deployment — the run the
+      // paper's analysis focuses on.
+      if (s == Strategy::kOurs && n == sweep.back()) {
+        bench::capture_obs(report, c);
+      }
       std::fprintf(stderr, "  [fig4] %-22s n=%-3zu boot=%.1fs total=%.1fs traffic=%.1fGB\n",
                    cloud::strategy_name(s), n, r.avg_boot, r.completion,
                    r.traffic_gb);
     }
   }
+
+  {
+    auto& a = report.panel("4a_avg_boot", "instances", "seconds");
+    a.at("taktuk").reference = kPaper4aTaktuk;
+    a.at("qcow2_pvfs").reference = kPaper4aQcow;
+    a.at("ours").reference = kPaper4aOurs;
+    auto& b = report.panel("4b_completion", "instances", "seconds");
+    b.at("taktuk").reference = kPaper4bTaktuk;
+    b.at("qcow2_pvfs").reference = kPaper4bQcow;
+    b.at("ours").reference = kPaper4bOurs;
+    auto& c = report.panel("4c_speedup", "instances", "ratio");
+    auto& d = report.panel("4d_traffic", "instances", "GB");
+    d.at("taktuk").reference = kPaper4dTaktuk;
+    d.at("qcow2_pvfs").reference = kPaper4dQcow;
+    d.at("ours").reference = kPaper4dOurs;
+    for (std::size_t n : sweep) {
+      const double x = static_cast<double>(n);
+      a.at("taktuk").add(x, rows[Strategy::kPrepropagation][n].avg_boot);
+      a.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].avg_boot);
+      a.at("ours").add(x, rows[Strategy::kOurs][n].avg_boot);
+      b.at("taktuk").add(x, rows[Strategy::kPrepropagation][n].completion);
+      b.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].completion);
+      b.at("ours").add(x, rows[Strategy::kOurs][n].completion);
+      const double ours = rows[Strategy::kOurs][n].completion;
+      c.at("vs_taktuk").add(x, rows[Strategy::kPrepropagation][n].completion / ours);
+      c.at("vs_qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].completion / ours);
+      d.at("taktuk").add(x, rows[Strategy::kPrepropagation][n].traffic_gb);
+      d.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].traffic_gb);
+      d.at("ours").add(x, rows[Strategy::kOurs][n].traffic_gb);
+    }
+  }
+  report.write();
 
   std::printf("\nFig 4(a): average time to boot one instance (s)\n");
   Table a({"instances", "taktuk", "paper", "qcow2/PVFS", "paper", "ours", "paper"});

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 namespace {
@@ -36,6 +37,10 @@ int run() {
   const auto sweep = bench::instance_sweep();
   const auto tp = bench::paper_boot_params();
 
+  bench::Report report("fig5_multisnapshotting", "Figure 5",
+                       "multisnapshotting performance (15 MB diff/instance)");
+  bench::report_cloud_config(report, bench::paper_cloud_config(sweep.back()));
+
   std::map<Strategy, std::map<std::size_t, Row>> rows;
   for (Strategy s : {Strategy::kQcowOverPvfs, Strategy::kOurs}) {
     for (std::size_t n : sweep) {
@@ -52,11 +57,34 @@ int run() {
       r.diff_mb = static_cast<double>(m->repository_growth) / 1e6 /
                   static_cast<double>(n);
       rows[s][n] = r;
+      if (s == Strategy::kOurs && n == sweep.back()) {
+        bench::capture_obs(report, c);
+      }
       std::fprintf(stderr,
                    "  [fig5] %-16s n=%-3zu avg=%.2fs completion=%.2fs diff=%.1fMB\n",
                    cloud::strategy_name(s), n, r.avg_snap, r.completion, r.diff_mb);
     }
   }
+
+  {
+    auto& a = report.panel("5a_avg_snapshot", "instances", "seconds");
+    a.at("qcow2_pvfs").reference = kPaper5aQcow;
+    a.at("ours").reference = kPaper5aOurs;
+    auto& b = report.panel("5b_completion", "instances", "seconds");
+    b.at("qcow2_pvfs").reference = kPaper5bQcow;
+    b.at("ours").reference = kPaper5bOurs;
+    auto& g = report.panel("repo_growth", "instances", "MB_per_instance");
+    for (std::size_t n : sweep) {
+      const double x = static_cast<double>(n);
+      a.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].avg_snap);
+      a.at("ours").add(x, rows[Strategy::kOurs][n].avg_snap);
+      b.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].completion);
+      b.at("ours").add(x, rows[Strategy::kOurs][n].completion);
+      g.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].diff_mb);
+      g.at("ours").add(x, rows[Strategy::kOurs][n].diff_mb);
+    }
+  }
+  report.write();
 
   std::printf("\nFig 5(a): average time to snapshot one instance (s)\n");
   Table a({"instances", "qcow2/PVFS", "paper", "ours", "paper"});

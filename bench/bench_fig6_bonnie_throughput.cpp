@@ -19,6 +19,7 @@
 #include "imgfs/block_device.hpp"
 #include "mirror/virtual_disk.hpp"
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 namespace {
@@ -73,16 +74,30 @@ int run() {
     return 1;
   }
 
+  bench::Report report("fig6_bonnie_throughput", "Figure 6",
+                       "Bonnie++ sustained throughput, 8 KiB blocks (real I/O)");
+  const apps::BonnieConfig bc = bonnie_config();
+  report.config("total_bytes", static_cast<std::uint64_t>(bc.total));
+  report.config("block_bytes", static_cast<std::uint64_t>(bc.block));
+  report.config("image_size", static_cast<std::uint64_t>(image_size()));
+
   std::printf("\nThroughput (KB/s); paper columns digitized from Figure 6\n");
   Table t({"pattern", "local", "our-approach", "ours/local", "paper ours/local"});
+  auto& panel = report.panel("throughput", "pattern", "KB_per_s");
+  auto& ratio = report.panel("ratio", "pattern", "ours_over_local");
   auto row = [&](const char* name, double l, double o, double paper_ratio) {
     t.add_row({name, Table::num(l, 0), Table::num(o, 0), Table::num(o / l, 2),
                Table::num(paper_ratio, 2)});
+    panel.at("local").add(name, l);
+    panel.at("ours").add(name, o);
+    ratio.at("measured").add(name, o / l);
+    ratio.at("paper").add(name, paper_ratio);
   };
   row("BlockW", local->block_write_kbps, ours->block_write_kbps, 1.9);
   row("BlockR", local->block_read_kbps, ours->block_read_kbps, 1.0);
   row("BlockO", local->block_overwrite_kbps, ours->block_overwrite_kbps, 1.9);
   t.print();
+  report.write();
   return 0;
 }
 

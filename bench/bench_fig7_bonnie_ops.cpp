@@ -14,6 +14,7 @@
 #include "imgfs/block_device.hpp"
 #include "mirror/virtual_disk.hpp"
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 namespace {
@@ -92,13 +93,28 @@ int run() {
               "ours+fuse adds an emulated 12 us/op user/kernel crossing (the\n"
               "overhead the paper's FUSE-based module pays; in-library we\n"
               "don't, so plain 'ours' shows little penalty).\n");
+  bench::Report report("fig7_bonnie_ops", "Figure 7",
+                       "Bonnie++ operations per second (real I/O)");
+  const apps::BonnieConfig bc = bonnie_config();
+  report.config("seek_ops", static_cast<std::uint64_t>(bc.seek_ops));
+  report.config("file_ops", static_cast<std::uint64_t>(bc.file_ops));
+  report.config("image_size", static_cast<std::uint64_t>(image_size()));
+
   Table t({"operation", "local", "ours", "ours/local", "ours+fuse",
            "+fuse/local", "paper ours/local"});
+  auto& panel = report.panel("ops_per_s", "operation", "ops_per_s");
+  auto& ratio = report.panel("ratio", "operation", "ours_over_local");
   auto row = [&](const char* name, double l, double o, double of,
                  double paper_ratio) {
     t.add_row({name, Table::num(l, 0), Table::num(o, 0), Table::num(o / l, 2),
                Table::num(of, 0), Table::num(of / l, 2),
                Table::num(paper_ratio, 2)});
+    panel.at("local").add(name, l);
+    panel.at("ours").add(name, o);
+    panel.at("ours_fuse").add(name, of);
+    ratio.at("ours").add(name, o / l);
+    ratio.at("ours_fuse").add(name, of / l);
+    ratio.at("paper").add(name, paper_ratio);
   };
   row("RndSeek", local.random_seeks_per_s, ours.random_seeks_per_s,
       ours_fuse.random_seeks_per_s, 0.45);
@@ -107,6 +123,7 @@ int run() {
   row("DelF", local.deletes_per_s, ours.deletes_per_s,
       ours_fuse.deletes_per_s, 0.40);
   t.print();
+  report.write();
   return 0;
 }
 

@@ -12,6 +12,7 @@
 
 #include "apps/montecarlo.hpp"
 #include "util/bench_util.hpp"
+#include "util/report.hpp"
 
 namespace vmstorm {
 namespace {
@@ -38,6 +39,15 @@ int run() {
   const auto p = params();
   const auto cfg = bench::paper_cloud_config(p.workers);
 
+  bench::Report report("fig8_montecarlo", "Figure 8",
+                       "Monte-Carlo simulation on 100 VM instances");
+  bench::report_cloud_config(report, cfg);
+  report.config("workers", static_cast<std::uint64_t>(p.workers));
+  report.config("compute_seconds", p.compute_seconds);
+  report.config("state_bytes", static_cast<std::uint64_t>(p.state_bytes));
+  auto& up = report.panel("uninterrupted", "strategy", "seconds");
+  auto& rp = report.panel("suspend_resume", "strategy", "seconds");
+
   std::printf("\nSetting: Uninterrupted\n");
   Table u({"strategy", "completion (s)", "paper", "deploy (s)"});
   int i = 0;
@@ -45,8 +55,12 @@ int run() {
                  cloud::Strategy::kQcowOverPvfs, cloud::Strategy::kOurs}) {
     auto out = apps::run_montecarlo_uninterrupted(s, cfg, p);
     u.add_row({cloud::strategy_name(s), Table::num(out.completion_seconds, 0),
-               Table::num(kPaperUninterrupted[i++], 0),
+               Table::num(kPaperUninterrupted[i], 0),
                Table::num(out.deploy_seconds, 1)});
+    up.at("completion").add(cloud::strategy_name(s), out.completion_seconds);
+    up.at("paper").add(cloud::strategy_name(s), kPaperUninterrupted[i]);
+    up.at("deploy").add(cloud::strategy_name(s), out.deploy_seconds);
+    ++i;
     std::fprintf(stderr, "  [fig8] uninterrupted %-22s done\n",
                  cloud::strategy_name(s));
   }
@@ -66,13 +80,19 @@ int run() {
     }
     completions[i] = out->completion_seconds;
     r.add_row({cloud::strategy_name(s), Table::num(out->completion_seconds, 0),
-               Table::num(kPaperSuspendResume[i++], 0),
+               Table::num(kPaperSuspendResume[i], 0),
                Table::num(out->snapshot_seconds, 2),
                Table::num(out->resume_seconds, 1)});
+    rp.at("completion").add(cloud::strategy_name(s), out->completion_seconds);
+    rp.at("paper").add(cloud::strategy_name(s), kPaperSuspendResume[i]);
+    rp.at("snapshot").add(cloud::strategy_name(s), out->snapshot_seconds);
+    rp.at("resume").add(cloud::strategy_name(s), out->resume_seconds);
+    ++i;
     std::fprintf(stderr, "  [fig8] suspend/resume %-22s done\n",
                  cloud::strategy_name(s));
   }
   r.print();
+  report.write();
   std::printf("\nOurs resumes faster than qcow2/PVFS by %.1f%% "
               "(paper: \"by almost 5%%\").\n",
               100.0 * (completions[0] - completions[1]) / completions[0]);

@@ -1,0 +1,210 @@
+#include "util/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "cloud/cloud.hpp"
+#include "util/bench_util.hpp"
+
+namespace vmstorm::bench {
+
+void Series::add(double x, double y) {
+  SeriesPoint p;
+  p.numeric_x = true;
+  p.x = x;
+  p.y = y;
+  points.push_back(std::move(p));
+}
+
+void Series::add(const std::string& label, double y) {
+  SeriesPoint p;
+  p.numeric_x = false;
+  p.x_label = label;
+  p.y = y;
+  points.push_back(std::move(p));
+}
+
+Series& Panel::at(const std::string& name) {
+  for (Series& s : series) {
+    if (s.name == name) return s;
+  }
+  series.push_back(Series{});
+  series.back().name = name;
+  return series.back();
+}
+
+Report::Report(std::string name, std::string figure, std::string title)
+    : name_(std::move(name)), figure_(std::move(figure)),
+      title_(std::move(title)) {}
+
+Panel& Report::panel(const std::string& title, const std::string& x_label,
+                     const std::string& y_label) {
+  for (Panel& p : panels_) {
+    if (p.title == title) return p;
+  }
+  panels_.push_back(Panel{});
+  Panel& p = panels_.back();
+  p.title = title;
+  p.x_label = x_label;
+  p.y_label = y_label;
+  return p;
+}
+
+void Report::config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, value);
+}
+
+void Report::config(const std::string& key, double value) {
+  config_.emplace_back(key, obs::json_number(value));
+}
+
+void Report::config(const std::string& key, std::uint64_t value) {
+  config_.emplace_back(key, obs::json_number(value));
+}
+
+std::string Report::fingerprint() const {
+  // FNV-1a 64-bit over "key=value;" in insertion order.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& [k, v] : config_) {
+    mix(k);
+    mix("=");
+    mix(v);
+    mix(";");
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string Report::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("vmstorm-bench-v1");
+  w.key("name").value(name_);
+  w.key("figure").value(figure_);
+  w.key("title").value(title_);
+  w.key("quick").value(quick_mode());
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) {
+    // Values produced by the double/uint overloads are already JSON
+    // numbers; string values need quoting. Disambiguate by first char.
+    w.key(k);
+    const bool is_number =
+        !v.empty() && (v[0] == '-' || (v[0] >= '0' && v[0] <= '9'));
+    if (is_number || v == "null") {
+      w.raw(v);
+    } else {
+      w.value(v);
+    }
+  }
+  w.key("fingerprint").value(fingerprint());
+  w.end_object();
+  w.key("panels").begin_array();
+  for (const Panel& p : panels_) {
+    w.begin_object();
+    w.key("title").value(p.title);
+    w.key("x_label").value(p.x_label);
+    w.key("y_label").value(p.y_label);
+    w.key("series").begin_array();
+    for (const Series& s : p.series) {
+      w.begin_object();
+      w.key("name").value(s.name);
+      w.key("points").begin_array();
+      for (const SeriesPoint& pt : s.points) {
+        w.begin_object();
+        w.key("x");
+        if (pt.numeric_x) {
+          w.value(pt.x);
+        } else {
+          w.value(pt.x_label);
+        }
+        w.key("y").value(pt.y);
+        w.end_object();
+      }
+      w.end_array();
+      if (!s.reference.empty()) {
+        w.key("reference").begin_array();
+        for (const auto& [x, y] : s.reference) {
+          w.begin_object();
+          w.key("x").value(x);
+          w.key("y").value(y);
+          w.end_object();
+        }
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  if (metrics_json_.empty()) {
+    w.null();
+  } else {
+    w.raw(metrics_json_);
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string bench_dir() {
+  const char* dir = std::getenv("VMSTORM_BENCH_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  out.close();
+  return out.good();
+}
+
+}  // namespace
+
+std::string Report::write() const {
+  const std::string path = bench_dir() + "/BENCH_" + name_ + ".json";
+  if (!write_file(path, to_json())) return "";
+  std::printf("\n[artifact] %s\n", path.c_str());
+  return path;
+}
+
+void report_cloud_config(Report& report, const cloud::CloudConfig& cfg) {
+  report.config("compute_nodes", static_cast<std::uint64_t>(cfg.compute_nodes));
+  report.config("image_size", static_cast<std::uint64_t>(cfg.image_size));
+  report.config("chunk_size", static_cast<std::uint64_t>(cfg.chunk_size));
+  report.config("qcow_cluster_size",
+                static_cast<std::uint64_t>(cfg.qcow_cluster_size));
+  report.config("replication", static_cast<std::uint64_t>(cfg.replication));
+  report.config("dedup", cfg.dedup ? "true" : "false");
+  report.config("prefetch_window",
+                static_cast<std::uint64_t>(cfg.prefetch_window));
+  report.config("seed", cfg.seed);
+}
+
+void capture_obs(Report& report, cloud::Cloud& cloud) {
+  report.set_metrics_json(cloud.metrics_json());
+  if (cloud.obs().trace.enabled()) {
+    const std::string path =
+        bench_dir() + "/TRACE_" + report.name() + ".json";
+    if (write_file(path, cloud.trace_chrome_json())) {
+      std::printf("[artifact] %s (chrome://tracing)\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace vmstorm::bench

@@ -1,0 +1,114 @@
+// Machine-readable benchmark reports (schema "vmstorm-bench-v1").
+//
+// Every bench binary builds one Report mirroring the tables it prints:
+// panels hold named series of (x, y) points (x numeric for sweeps,
+// categorical for Bonnie-style rows) plus optional digitized paper
+// reference curves. write() serializes the report as deterministic JSON to
+// BENCH_<name>.json in $VMSTORM_BENCH_DIR (default: the current
+// directory), together with a metrics-registry snapshot captured from a
+// designated run (capture_obs) and a fingerprint of the configuration, so
+// artifacts from different configs never diff clean by accident.
+//
+// Determinism: everything flows through obs::JsonWriter (std::to_chars
+// doubles, insertion-ordered objects); same build + same seed + same env
+// produce byte-identical artifacts, which CI exploits by diffing two runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace vmstorm::cloud {
+class Cloud;
+struct CloudConfig;
+}  // namespace vmstorm::cloud
+
+namespace vmstorm::bench {
+
+struct SeriesPoint {
+  bool numeric_x = true;
+  double x = 0;
+  std::string x_label;  ///< used when !numeric_x
+  double y = 0;
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+  /// Digitized paper curve for this series, if the figure has one.
+  std::vector<std::pair<double, double>> reference;
+
+  void add(double x, double y);
+  void add(const std::string& label, double y);
+};
+
+struct Panel {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  // deque: at() returns references that benches hold while creating more
+  // series; vector reallocation would invalidate them.
+  std::deque<Series> series;
+
+  /// Finds or creates the named series.
+  Series& at(const std::string& name);
+};
+
+class Report {
+ public:
+  /// `name` keys the artifact file (BENCH_<name>.json); `figure` and
+  /// `title` describe what the source paper calls this experiment.
+  Report(std::string name, std::string figure, std::string title);
+
+  /// Finds or creates the named panel.
+  Panel& panel(const std::string& title, const std::string& x_label = "",
+               const std::string& y_label = "");
+
+  /// Adds a config entry (recorded verbatim and folded into the
+  /// fingerprint, in insertion order).
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, double value);
+  void config(const std::string& key, std::uint64_t value);
+
+  /// Attaches a metrics-registry snapshot (obs::Registry::to_json()).
+  void set_metrics_json(std::string json) { metrics_json_ = std::move(json); }
+
+  /// FNV-1a over the config entries; stable across runs of one build.
+  std::string fingerprint() const;
+
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json under $VMSTORM_BENCH_DIR (default ".").
+  /// Returns the path written, or "" on I/O failure (reported to stderr).
+  std::string write() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::string figure_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  // deque, not vector: panel() hands out long-lived references.
+  std::deque<Panel> panels_;
+  std::string metrics_json_;  ///< empty = "metrics": null
+};
+
+/// Captures the Cloud's metrics registry into the report (collect + JSON),
+/// and — when tracing is enabled via VMSTORM_TRACE=1 — writes the Chrome
+/// trace alongside the artifact as TRACE_<name>.json.
+void capture_obs(Report& report, cloud::Cloud& cloud);
+
+/// Records the standard testbed knobs (node count, image/chunk sizes,
+/// replication, dedup, prefetch window, seed) into the report's config,
+/// so the fingerprint pins the whole experimental setup.
+void report_cloud_config(Report& report, const cloud::CloudConfig& cfg);
+
+/// Directory bench artifacts land in ($VMSTORM_BENCH_DIR, default ".").
+std::string bench_dir();
+
+}  // namespace vmstorm::bench

@@ -44,6 +44,7 @@ NodeRef SegmentTreeArena::commit_range(
     NodeRef base, std::map<std::uint64_t, ChunkLocation>::const_iterator begin,
     std::map<std::uint64_t, ChunkLocation>::const_iterator end) {
   if (begin == end) return base;  // no updates below: share the subtree
+  ++nodes_visited_;
   // Copy-on-write: the base node is immutable; we allocate a modified copy.
   Node n = nodes_[base];
   if (n.is_leaf()) {
@@ -75,6 +76,7 @@ void SegmentTreeArena::locate(NodeRef root, std::uint64_t lo_chunk,
   if (root == kNoNode || lo_chunk >= hi_chunk) return;
   const Node& n = nodes_[root];
   if (hi_chunk <= n.lo || lo_chunk >= n.hi) return;
+  ++nodes_visited_;
   if (n.is_leaf()) {
     out->push_back(n.chunk);
     return;
@@ -87,6 +89,7 @@ ChunkLocation SegmentTreeArena::locate_one(NodeRef root,
                                            std::uint64_t chunk_index) const {
   NodeRef cur = root;
   while (true) {
+    ++nodes_visited_;
     const Node& n = nodes_[cur];
     assert(chunk_index >= n.lo && chunk_index < n.hi);
     if (n.is_leaf()) return n.chunk;

@@ -78,6 +78,10 @@ class SegmentTreeArena {
   /// that snapshots share metadata (commit allocates O(k log n), not O(n)).
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Nodes touched by locate/locate_one/commit traversals since
+  /// construction — the metadata-access cost the obs layer reports.
+  std::uint64_t nodes_visited() const { return nodes_visited_; }
+
   /// Depth of the tree rooted at `root` (1 for a single leaf).
   std::uint64_t depth(NodeRef root) const;
 
@@ -92,6 +96,8 @@ class SegmentTreeArena {
   NodeRef alloc(Node n);
 
   std::vector<Node> nodes_;
+  // mutable: locate() is logically const but still counts traversal work.
+  mutable std::uint64_t nodes_visited_ = 0;
 };
 
 }  // namespace vmstorm::blob

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+
 namespace vmstorm::blob {
 
 namespace {
@@ -22,6 +24,15 @@ SimCluster::SimCluster(sim::Engine& engine, net::Network& network,
       manager_node_(manager_node), cfg_(cfg) {
   assert(provider_nodes_.size() == provider_disks_.size());
   assert(provider_nodes_.size() == store_->config().providers);
+  if (obs::Recorder* rec = engine.recorder()) {
+    obs_locates_ = &rec->metrics.counter("blob.locates");
+    obs_fetches_ = &rec->metrics.counter("blob.fetches");
+    obs_fetched_bytes_ = &rec->metrics.counter("blob.fetched_bytes");
+    obs_commits_ = &rec->metrics.counter("blob.commits");
+    obs_chunk_pushes_ = &rec->metrics.counter("blob.chunk_pushes");
+    obs_clones_ = &rec->metrics.counter("blob.clones");
+    tracer_ = &rec->trace;
+  }
 }
 
 net::NodeId SimCluster::metadata_node_for(std::uint64_t salt) const {
@@ -32,6 +43,7 @@ sim::Task<std::vector<ChunkLocation>> SimCluster::locate(
     net::NodeId client, BlobId blob, Version version, ByteRange range) {
   auto r = store_->locate(blob, version, range);
   if (!r.is_ok()) raise(r.status());
+  if (obs_locates_) obs_locates_->add();
   co_await network_->small_rpc(client, metadata_node_for(rpc_counter_++),
                                cfg_.metadata_rpc_bytes, cfg_.metadata_rpc_bytes);
   co_return std::move(r).value();
@@ -40,11 +52,20 @@ sim::Task<std::vector<ChunkLocation>> SimCluster::locate(
 sim::Task<void> SimCluster::fetch(net::NodeId client, ChunkLocation loc,
                                   Bytes offset, Bytes length) {
   if (loc.is_hole() || length == 0) co_return;
+  if (obs_fetches_) obs_fetches_->add();
+  if (obs_fetched_bytes_) obs_fetched_bytes_->add(length);
+  const double start = engine_->now_seconds();
   storage::Disk& disk = disk_of(loc.provider);
   // Provider-side work: read the chunk bytes (page-cache key = chunk key).
   co_await network_->round_trip(client, node_of(loc.provider),
                                 cfg_.data_request_bytes, length,
                                 disk.read(loc.key, length));
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->complete(start, engine_->now_seconds() - start, client, "blob",
+                      "fetch",
+                      {obs::TraceArg::uint("provider", loc.provider),
+                       obs::TraceArg::uint("bytes", length)});
+  }
   (void)offset;
 }
 
@@ -61,6 +82,8 @@ sim::Task<void> SimCluster::push_chunk(net::NodeId client, ProviderId provider,
 sim::Task<Version> SimCluster::commit(net::NodeId client, BlobId blob,
                                       Version base,
                                       std::vector<ChunkWrite> writes) {
+  if (obs_commits_) obs_commits_->add();
+  const double commit_start = engine_->now_seconds();
   // 1. Ticket + provider allocation from the version manager.
   co_await network_->small_rpc(client, manager_node_, cfg_.metadata_rpc_bytes,
                                cfg_.metadata_rpc_bytes);
@@ -86,6 +109,7 @@ sim::Task<Version> SimCluster::commit(net::NodeId client, BlobId blob,
     if (committed->deduplicated[i]) continue;
     const ChunkKey key = committed->keys[i];
     for (ProviderId p : store_->replicas_of(key)) {
+      if (obs_chunk_pushes_) obs_chunk_pushes_->add();
       pushes.push_back(push_chunk(client, p, key, sizes[i]));
     }
   }
@@ -97,6 +121,13 @@ sim::Task<Version> SimCluster::commit(net::NodeId client, BlobId blob,
                                cfg_.metadata_rpc_bytes, cfg_.metadata_rpc_bytes);
   co_await network_->small_rpc(client, manager_node_, cfg_.metadata_rpc_bytes,
                                cfg_.metadata_rpc_bytes);
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->complete(commit_start, engine_->now_seconds() - commit_start,
+                      client, "blob", "commit",
+                      {obs::TraceArg::uint("blob", blob),
+                       obs::TraceArg::uint("version", version),
+                       obs::TraceArg::uint("chunks", indices.size())});
+  }
   co_return version;
 }
 
@@ -104,8 +135,14 @@ sim::Task<BlobId> SimCluster::clone(net::NodeId client, BlobId blob,
                                     Version version) {
   auto r = store_->clone(blob, version);
   if (!r.is_ok()) raise(r.status());
+  if (obs_clones_) obs_clones_->add();
+  const double start = engine_->now_seconds();
   co_await network_->small_rpc(client, manager_node_, cfg_.metadata_rpc_bytes,
                                cfg_.metadata_rpc_bytes);
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->complete(start, engine_->now_seconds() - start, client, "blob",
+                      "clone", {obs::TraceArg::uint("src", blob)});
+  }
   co_return r.value();
 }
 

@@ -23,6 +23,11 @@
 #include "sim/task.hpp"
 #include "storage/disk.hpp"
 
+namespace vmstorm::obs {
+class Counter;
+class Tracer;
+}  // namespace vmstorm::obs
+
 namespace vmstorm::blob {
 
 struct SimClusterConfig {
@@ -83,6 +88,14 @@ class SimCluster {
   net::NodeId manager_node_;
   SimClusterConfig cfg_;
   std::uint64_t rpc_counter_ = 0;
+  // Registry handles cached at construction; null without a recorder.
+  obs::Counter* obs_locates_ = nullptr;
+  obs::Counter* obs_fetches_ = nullptr;
+  obs::Counter* obs_fetched_bytes_ = nullptr;
+  obs::Counter* obs_commits_ = nullptr;
+  obs::Counter* obs_chunk_pushes_ = nullptr;
+  obs::Counter* obs_clones_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vmstorm::blob

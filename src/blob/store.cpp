@@ -395,4 +395,9 @@ std::size_t BlobStore::metadata_nodes() const {
   return arena_.node_count();
 }
 
+std::uint64_t BlobStore::metadata_node_visits() const {
+  std::shared_lock lock(mutex_);
+  return arena_.nodes_visited();
+}
+
 }  // namespace vmstorm::blob

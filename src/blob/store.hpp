@@ -146,6 +146,10 @@ class BlobStore {
   /// Metadata nodes ever allocated (shadowing efficiency measure).
   std::size_t metadata_nodes() const;
 
+  /// Segment-tree nodes touched by locate/commit traversals (metadata
+  /// access cost; the obs layer exports this as blob.metadata_node_visits).
+  std::uint64_t metadata_node_visits() const;
+
   /// Deduplication counters (zero unless cfg.dedup).
   std::uint64_t dedup_hits() const;
   Bytes dedup_saved_bytes() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "sim/sync.hpp"
@@ -19,6 +21,12 @@ const char* strategy_name(Strategy s) {
 
 Cloud::Cloud(CloudConfig cfg, Strategy strategy)
     : cfg_(cfg), strategy_(strategy) {
+  // Attach the recorder before any component exists: components cache their
+  // metric handles at construction time.
+  engine_.set_recorder(&obs_);
+  if (const char* env = std::getenv("VMSTORM_TRACE")) {
+    if (std::strcmp(env, "0") != 0) obs_.trace.set_enabled(true);
+  }
   build_testbed();
   upload_image();
 }
@@ -167,6 +175,15 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
   for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
+  if (obs_.trace.enabled()) {
+    for (auto& inst : instances_) {
+      obs_.trace.complete(inst->boot.started, inst->boot.boot_seconds(),
+                          static_cast<std::uint32_t>(inst->node_index),
+                          "cloud", "boot");
+    }
+    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "multideploy",
+                        {obs::TraceArg::uint("instances", n)});
+  }
   return m;
 }
 
@@ -200,8 +217,12 @@ sim::Task<void> Cloud::snapshot_one(Instance& inst, double started,
     case Strategy::kPrepropagation:
       break;
   }
-  (void)started;
   *finished = engine_.now_seconds();
+  if (obs_.trace.enabled()) {
+    obs_.trace.complete(started, *finished - started,
+                        static_cast<std::uint32_t>(inst.node_index), "cloud",
+                        "snapshot");
+  }
 }
 
 Result<MultisnapshotMetrics> Cloud::multisnapshot() {
@@ -227,6 +248,10 @@ Result<MultisnapshotMetrics> Cloud::multisnapshot() {
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
   m.repository_growth = repository_bytes() - repo0;
+  if (obs_.trace.enabled()) {
+    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "multisnapshot",
+                        {obs::TraceArg::uint("instances", instances_.size())});
+  }
   return m;
 }
 
@@ -317,6 +342,15 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
   for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
+  if (obs_.trace.enabled()) {
+    for (auto& inst : instances_) {
+      obs_.trace.complete(inst->boot.started, inst->boot.boot_seconds(),
+                          static_cast<std::uint32_t>(inst->node_index),
+                          "cloud", "resume");
+    }
+    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "resume_boot",
+                        {obs::TraceArg::uint("instances", instances_.size())});
+  }
   return m;
 }
 
@@ -370,6 +404,107 @@ Bytes Cloud::repository_bytes() const {
     case Strategy::kPrepropagation: return cfg_.image_size;
   }
   return 0;
+}
+
+void Cloud::collect_metrics() {
+  obs::Registry& reg = obs_.metrics;
+  const auto as_d = [](auto v) { return static_cast<double>(v); };
+
+  reg.gauge("sim.events_processed").set(as_d(engine_.events_processed()));
+  reg.gauge("sim.cancelled_wakeups").set(as_d(engine_.cancelled_wakeups()));
+  reg.gauge("sim.live_tasks").set(as_d(engine_.live_tasks()));
+  reg.gauge("sim.now_seconds").set(engine_.now_seconds());
+
+  reg.gauge("net.total_traffic_bytes").set(as_d(network_->total_traffic()));
+  reg.gauge("net.payload_bytes").set(as_d(network_->total_payload()));
+  reg.gauge("net.messages").set(as_d(network_->total_messages()));
+  reg.gauge("net.connections").set(as_d(network_->connections_opened()));
+  double nic_wait = 0, nic_busy = 0;
+  for (std::size_t i = 0; i < network_->node_count(); ++i) {
+    net::NetNode& nd = network_->node(static_cast<net::NodeId>(i));
+    nic_wait += sim::to_seconds(nd.tx().total_queue_wait()) +
+                sim::to_seconds(nd.rx().total_queue_wait());
+    nic_busy += sim::to_seconds(nd.tx().busy_time()) +
+                sim::to_seconds(nd.rx().busy_time());
+  }
+  reg.gauge("net.nic_queue_wait_seconds").set(nic_wait);
+  reg.gauge("net.nic_busy_seconds").set(nic_busy);
+
+  double disk_wait = 0, disk_busy = 0;
+  std::uint64_t hits = 0, misses = 0;
+  Bytes platter_bytes = 0, dirty = 0;
+  const auto tally = [&](const storage::Disk& d) {
+    disk_wait += sim::to_seconds(d.queue_wait_time());
+    disk_busy += sim::to_seconds(d.busy_time());
+    hits += d.cache_hits();
+    misses += d.cache_misses();
+    platter_bytes += d.bytes_read_platter();
+    dirty += d.dirty_bytes();
+  };
+  for (const auto& d : disks_) tally(*d);
+  tally(*nfs_disk_);
+  reg.gauge("disk.queue_wait_seconds_total").set(disk_wait);
+  reg.gauge("disk.busy_seconds_total").set(disk_busy);
+  reg.gauge("disk.platter_bytes").set(as_d(platter_bytes));
+  reg.gauge("disk.dirty_bytes").set(as_d(dirty));
+  reg.gauge("disk.cache_hit_ratio")
+      .set(hits + misses > 0 ? as_d(hits) / as_d(hits + misses) : 0.0);
+
+  if (store_) {
+    reg.gauge("blob.stored_bytes").set(as_d(store_->stored_bytes()));
+    reg.gauge("blob.metadata_nodes").set(as_d(store_->metadata_nodes()));
+    reg.gauge("blob.metadata_node_visits")
+        .set(as_d(store_->metadata_node_visits()));
+    reg.gauge("blob.dedup_hits").set(as_d(store_->dedup_hits()));
+    reg.gauge("blob.dedup_saved_bytes").set(as_d(store_->dedup_saved_bytes()));
+  }
+
+  if (strategy_ == Strategy::kOurs) {
+    Bytes fetched = 0, gapfill = 0, mirrored = 0, mirror_dirty = 0;
+    std::uint64_t fetches = 0, locates = 0, prefetched = 0, waits = 0,
+                  skipped = 0;
+    std::size_t fragments = 0;
+    bool single_region = true;
+    for (const auto& inst : instances_) {
+      if (!inst->ours) continue;
+      const mirror::SimDiskStats& s = inst->ours->stats();
+      fetched += s.remote_bytes_fetched;
+      fetches += s.remote_fetches;
+      locates += s.locate_calls;
+      prefetched += s.prefetched_chunks;
+      waits += s.inflight_waits;
+      skipped += s.prefetch_skipped;
+      gapfill += s.gapfill_bytes;
+      const mirror::LocalState& ls = inst->ours->local_state();
+      fragments += ls.fragment_count();
+      mirrored += ls.mirrored_bytes();
+      mirror_dirty += ls.dirty_bytes();
+      single_region = single_region && ls.single_region_invariant_holds();
+    }
+    reg.gauge("mirror.remote_bytes_fetched").set(as_d(fetched));
+    reg.gauge("mirror.remote_fetches").set(as_d(fetches));
+    reg.gauge("mirror.locate_calls").set(as_d(locates));
+    reg.gauge("mirror.prefetched_chunks").set(as_d(prefetched));
+    reg.gauge("mirror.inflight_waits").set(as_d(waits));
+    reg.gauge("mirror.prefetch_skipped").set(as_d(skipped));
+    // Fraction of prefetch candidates that were genuinely ahead of demand.
+    reg.gauge("mirror.prefetch_hit_ratio")
+        .set(prefetched + skipped > 0 ? as_d(prefetched) / as_d(prefetched + skipped)
+                                      : 0.0);
+    reg.gauge("mirror.gapfill_bytes").set(as_d(gapfill));
+    reg.gauge("mirror.fragment_count").set(as_d(fragments));
+    reg.gauge("mirror.mirrored_bytes").set(as_d(mirrored));
+    reg.gauge("mirror.dirty_bytes").set(as_d(mirror_dirty));
+    reg.gauge("mirror.single_region_invariant").set(single_region ? 1.0 : 0.0);
+  }
+
+  reg.gauge("cloud.instances").set(as_d(instances_.size()));
+  reg.gauge("cloud.repository_bytes").set(as_d(repository_bytes()));
+}
+
+std::string Cloud::metrics_json() {
+  collect_metrics();
+  return obs_.metrics.to_json();
 }
 
 }  // namespace vmstorm::cloud

@@ -31,6 +31,7 @@
 #include "dfs/striped_fs.hpp"
 #include "mirror/sim_disk.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "qcow/sim_image.hpp"
 #include "sim/engine.hpp"
 #include "storage/disk.hpp"
@@ -135,6 +136,26 @@ class Cloud {
     return store_ ? store_->dedup_saved_bytes() : 0;
   }
 
+  // ---- Observability ------------------------------------------------------
+
+  /// The Recorder every simulated component of this Cloud reports into.
+  /// Tracing defaults off (VMSTORM_TRACE=1 enables it at construction);
+  /// metrics are always recorded.
+  obs::Recorder& obs() { return obs_; }
+  const obs::Recorder& obs() const { return obs_; }
+
+  /// Refreshes the pull-side gauges (simulator, NIC/disk aggregates, blob
+  /// store, mirroring modules) from current component state. Idempotent:
+  /// gauges are overwritten, so calling repeatedly is safe.
+  void collect_metrics();
+
+  /// collect_metrics() + the registry serialized as deterministic JSON.
+  std::string metrics_json();
+
+  /// Trace exports (empty when tracing is disabled).
+  std::string trace_jsonl() const { return obs_.trace.jsonl(); }
+  std::string trace_chrome_json() const { return obs_.trace.chrome_json(); }
+
  private:
   struct Instance {
     std::size_t node_index = 0;  // compute node hosting it
@@ -154,6 +175,9 @@ class Cloud {
 
   CloudConfig cfg_;
   Strategy strategy_;
+  // Declared before engine_/components: they cache handles into obs_, so it
+  // must outlive them (members destroy in reverse declaration order).
+  obs::Recorder obs_;
   sim::Engine engine_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<storage::Disk>> disks_;

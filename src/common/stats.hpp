@@ -32,6 +32,17 @@ class OnlineStats {
 /// Retains all samples; supports exact percentiles.
 class SampleSet {
  public:
+  /// Fixed five-number-style digest of a sample set.
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
   void add(double x) { samples_.push_back(x); }
   std::size_t count() const { return samples_.size(); }
   double mean() const;
@@ -40,6 +51,8 @@ class SampleSet {
   double sum() const;
   /// p in [0,100]; linear interpolation between order statistics.
   double percentile(double p) const;
+  /// Digest computed with a single sort (cheaper than repeated percentile()).
+  Summary summary() const;
   const std::vector<double>& samples() const { return samples_; }
 
  private:
@@ -55,6 +68,9 @@ class Histogram {
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   std::uint64_t total() const { return total_; }
+  /// p in [0,100]; walks the cumulative counts and interpolates linearly
+  /// within the bucket that crosses the target rank. Returns lo when empty.
+  double percentile(double p) const;
   std::string to_string() const;
 
  private:

@@ -51,6 +51,7 @@ sim::Task<void> SimVirtualDisk::fetch_ranges(std::vector<ByteRange> ranges,
       // than moving the same bytes twice.
       auto infl = inflight_.find(ci);
       if (infl != inflight_.end()) {
+        ++stats_.inflight_waits;
         waits.push_back(infl->second);
         continue;
       }
@@ -96,7 +97,9 @@ sim::Task<void> SimVirtualDisk::read(Bytes offset, Bytes length) {
 sim::Task<void> SimVirtualDisk::write(Bytes offset, Bytes length) {
   if (length == 0) co_return;
   const ByteRange req{offset, offset + length};
-  co_await fetch_ranges(state_.plan_write(req));
+  std::vector<ByteRange> gaps = state_.plan_write(req);
+  for (const ByteRange& g : gaps) stats_.gapfill_bytes += g.size();
+  co_await fetch_ranges(std::move(gaps));
   // The write itself lands in the mmap; the kernel flushes asynchronously.
   const Bytes chunk_size = state_.config().chunk_size;
   for (std::uint64_t ci = offset / chunk_size; ci * chunk_size < req.hi; ++ci) {
@@ -117,7 +120,10 @@ sim::Task<void> SimVirtualDisk::prefetch(AccessProfile profile,
       const std::uint64_t ci = profile[pos++];
       if (ci >= state_.chunk_count()) continue;
       const ByteRange cr = state_.chunk_range(ci);
-      if (state_.is_mirrored(cr)) continue;  // demand got there first
+      if (state_.is_mirrored(cr)) {  // demand got there first
+        ++stats_.prefetch_skipped;
+        continue;
+      }
       // Only fetch what is still missing (partially-written chunks keep
       // their local content).
       for (const ByteRange& gap : state_.plan_read(cr)) batch.push_back(gap);
@@ -139,7 +145,9 @@ sim::Task<blob::BlobId> SimVirtualDisk::clone() {
 sim::Task<blob::Version> SimVirtualDisk::commit() {
   auto dirty = state_.dirty_chunks();
   if (dirty.empty()) co_return target_version_;
-  co_await fetch_ranges(state_.plan_commit());
+  std::vector<ByteRange> gaps = state_.plan_commit();
+  for (const ByteRange& g : gaps) stats_.gapfill_bytes += g.size();
+  co_await fetch_ranges(std::move(gaps));
   std::vector<blob::ChunkWrite> writes;
   writes.reserve(dirty.size());
   for (std::uint64_t ci : dirty) {

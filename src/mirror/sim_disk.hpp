@@ -22,6 +22,14 @@ struct SimDiskStats {
   std::uint64_t remote_fetches = 0;
   std::uint64_t locate_calls = 0;
   std::uint64_t prefetched_chunks = 0;
+  /// Demand fetches that found their chunk already being prefetched and
+  /// waited for it instead of transferring again (prefetch hits).
+  std::uint64_t inflight_waits = 0;
+  /// Prefetch candidates skipped because demand mirrored them first.
+  std::uint64_t prefetch_skipped = 0;
+  /// Bytes fetched only to complete partially-written chunks (gap fill on
+  /// the write path / pre-commit).
+  Bytes gapfill_bytes = 0;
 };
 
 /// Chunk indices in first-access order, recorded during a run — the input

@@ -1,9 +1,17 @@
 #include "net/network.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace vmstorm::net {
 
 Network::Network(sim::Engine& engine, std::size_t node_count, NetworkConfig cfg)
     : engine_(&engine), cfg_(cfg) {
+  if (obs::Recorder* rec = engine.recorder()) {
+    obs_transfers_ = &rec->metrics.counter("net.transfers");
+    obs_queue_wait_ = &rec->metrics.histogram("net.queue_wait_seconds");
+    obs_transfer_time_ = &rec->metrics.histogram("net.transfer_seconds");
+    tracer_ = &rec->trace;
+  }
   nodes_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) add_node();
 }
@@ -19,11 +27,19 @@ sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
   total_traffic_ += wire;
   total_payload_ += payload;
   ++total_messages_;
+  if (obs_transfers_) obs_transfers_->add();
 
   NetNode& s = node(src);
   NetNode& d = node(dst);
   s.bytes_sent_ += wire;
   d.bytes_received_ += wire;
+
+  const double start = engine_->now_seconds();
+  // Splitting latency into queue wait vs service: the TX backlog at arrival
+  // is the queueing component; everything past it is transfer + propagation.
+  if (obs_queue_wait_) {
+    obs_queue_wait_->record(sim::to_seconds(s.tx_.backlog()));
+  }
 
   if (cfg_.connection_setup > 0 && connections_.emplace(src, dst).second) {
     co_await engine_->sleep(cfg_.connection_setup);
@@ -31,6 +47,14 @@ sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
   co_await s.tx_.serve_with_overhead(wire, cfg_.per_message_cpu);
   co_await engine_->sleep(cfg_.latency);
   co_await d.rx_.serve_with_overhead(wire, cfg_.per_message_cpu);
+
+  const double elapsed = engine_->now_seconds() - start;
+  if (obs_transfer_time_) obs_transfer_time_->record(elapsed);
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->complete(start, elapsed, src, "net", "transfer",
+                      {obs::TraceArg::uint("dst", dst),
+                       obs::TraceArg::uint("bytes", payload)});
+  }
 }
 
 sim::Task<void> Network::round_trip(NodeId client, NodeId server,

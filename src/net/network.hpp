@@ -22,6 +22,12 @@
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 
+namespace vmstorm::obs {
+class Counter;
+class ExpHistogram;
+class Tracer;
+}  // namespace vmstorm::obs
+
 namespace vmstorm::net {
 
 using NodeId = std::uint32_t;
@@ -116,6 +122,12 @@ class Network {
   Bytes total_traffic_ = 0;
   Bytes total_payload_ = 0;
   std::uint64_t total_messages_ = 0;
+  // Metric handles cached from the engine's Recorder at construction; all
+  // null when no recorder is attached (plain unit tests).
+  obs::Counter* obs_transfers_ = nullptr;
+  obs::ExpHistogram* obs_queue_wait_ = nullptr;
+  obs::ExpHistogram* obs_transfer_time_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vmstorm::net

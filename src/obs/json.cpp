@@ -1,0 +1,145 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace vmstorm::obs {
+
+void json_escape(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  return std::string(buf, end);
+}
+
+std::string json_number(std::uint64_t v) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  return std::string(buf, end);
+}
+
+std::string json_number(std::int64_t v) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  return std::string(buf, end);
+}
+
+void JsonWriter::element() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!first_.empty());
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!first_.empty());
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!after_key_);
+  element();
+  out_ += '"';
+  json_escape(k, &out_);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  element();
+  out_ += '"';
+  json_escape(s, &out_);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  element();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  element();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace vmstorm::obs

@@ -1,0 +1,64 @@
+// Deterministic JSON emission for the observability subsystem.
+//
+// The exported metric snapshots and traces double as regression oracles:
+// two runs with the same seed must produce byte-identical output. That
+// rules out iteration over unordered containers, locale-dependent or
+// precision-lossy number formatting, and wall-clock timestamps. JsonWriter
+// gives the caller full control of key order and formats numbers with
+// std::to_chars (shortest round-trip form), so equal inputs serialize to
+// equal bytes on a given toolchain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmstorm::obs {
+
+/// Appends the JSON escaping of `s` (without surrounding quotes) to *out.
+void json_escape(std::string_view s, std::string* out);
+
+/// Shortest round-trip decimal form of `v`; non-finite values render as
+/// "null" (metrics should never produce them, but a crash in the exporter
+/// would be worse than a null cell).
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+std::string json_number(std::int64_t v);
+
+/// Streaming JSON writer with explicit structure calls. Commas and quoting
+/// are handled; nesting is tracked so misuse asserts in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or begin_object/begin_array.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Appends pre-serialized JSON (e.g. a nested snapshot) verbatim.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void element();  // comma bookkeeping before a value/opening bracket
+
+  std::string out_;
+  std::vector<bool> first_;  // per open scope: no element emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace vmstorm::obs

@@ -1,0 +1,127 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace vmstorm::obs {
+
+TraceArg TraceArg::str(std::string key, std::string value) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::kString;
+  a.s = std::move(value);
+  return a;
+}
+
+TraceArg TraceArg::uint(std::string key, std::uint64_t value) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::kUint;
+  a.u = value;
+  return a;
+}
+
+TraceArg TraceArg::num(std::string key, double value) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::kDouble;
+  a.d = value;
+  return a;
+}
+
+void Tracer::push(double ts, double dur, char phase, std::uint32_t lane,
+                  std::string_view cat, std::string_view name,
+                  std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.phase = phase;
+  ev.lane = lane;
+  ev.cat = cat;
+  ev.name = name;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete(double ts, double dur, std::uint32_t lane,
+                      std::string_view cat, std::string_view name,
+                      std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  push(ts, dur, 'X', lane, cat, name, std::move(args));
+}
+
+void Tracer::begin(double ts, std::uint32_t lane, std::string_view cat,
+                   std::string_view name, std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  push(ts, -1, 'B', lane, cat, name, std::move(args));
+}
+
+void Tracer::end(double ts, std::uint32_t lane, std::string_view cat,
+                 std::string_view name) {
+  if (!enabled_) return;
+  push(ts, -1, 'E', lane, cat, name, {});
+}
+
+void Tracer::instant(double ts, std::uint32_t lane, std::string_view cat,
+                     std::string_view name, std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  push(ts, -1, 'i', lane, cat, name, std::move(args));
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const TraceEvent& ev, bool chrome) {
+  w.begin_object();
+  w.key("name").value(ev.name);
+  w.key("cat").value(ev.cat);
+  w.key("ph").value(std::string_view(&ev.phase, 1));
+  if (chrome) {
+    // Chrome expects microseconds; simulated seconds scale cleanly.
+    w.key("ts").value(ev.ts * 1e6);
+    if (ev.phase == 'X') w.key("dur").value(ev.dur * 1e6);
+    w.key("pid").value(std::uint64_t{0});
+    w.key("tid").value(static_cast<std::uint64_t>(ev.lane));
+  } else {
+    w.key("ts").value(ev.ts);
+    if (ev.phase == 'X') w.key("dur").value(ev.dur);
+    w.key("lane").value(static_cast<std::uint64_t>(ev.lane));
+  }
+  if (!ev.args.empty()) {
+    w.key("args").begin_object();
+    for (const TraceArg& a : ev.args) {
+      w.key(a.key);
+      switch (a.kind) {
+        case TraceArg::Kind::kString: w.value(a.s); break;
+        case TraceArg::Kind::kUint: w.value(a.u); break;
+        case TraceArg::Kind::kDouble: w.value(a.d); break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Tracer::jsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    JsonWriter w;
+    write_event(w, ev, /*chrome=*/false);
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : events_) write_event(w, ev, /*chrome=*/true);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace vmstorm::obs

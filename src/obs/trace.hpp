@@ -1,0 +1,83 @@
+// Span/event tracer stamped with the simulated clock.
+//
+// Components record structured events (chunk fetch, RPC, CLONE/COMMIT
+// phases, per-instance boot spans...) with explicit timestamps in simulated
+// seconds. Recording is O(1) appends into a vector and a no-op while the
+// tracer is disabled, so leaving trace calls in hot paths costs one branch.
+//
+// Two export formats:
+//   * jsonl()        — one JSON object per line, for jq/scripts;
+//   * chrome_json()  — the Chrome trace_event array format, loadable in
+//                      chrome://tracing or https://ui.perfetto.dev (lanes
+//                      map to tids, simulated seconds to microseconds).
+//
+// Like the metrics registry, output is deterministic: same seed, same
+// event sequence, byte-identical export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmstorm::obs {
+
+/// One typed argument attached to a trace event; numbers stay numbers in
+/// the JSON export.
+struct TraceArg {
+  enum class Kind { kString, kUint, kDouble };
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string s;
+  std::uint64_t u = 0;
+  double d = 0;
+
+  static TraceArg str(std::string key, std::string value);
+  static TraceArg uint(std::string key, std::uint64_t value);
+  static TraceArg num(std::string key, double value);
+};
+
+struct TraceEvent {
+  double ts = 0;        ///< simulated seconds
+  double dur = -1;      ///< >= 0 for complete ('X') events
+  char phase = 'i';     ///< 'X' complete, 'B' begin, 'E' end, 'i' instant
+  std::uint32_t lane = 0;  ///< rendered as the Chrome tid (node/instance id)
+  std::string cat;
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// A span known only at completion: [ts, ts+dur).
+  void complete(double ts, double dur, std::uint32_t lane,
+                std::string_view cat, std::string_view name,
+                std::vector<TraceArg> args = {});
+  void begin(double ts, std::uint32_t lane, std::string_view cat,
+             std::string_view name, std::vector<TraceArg> args = {});
+  void end(double ts, std::uint32_t lane, std::string_view cat,
+           std::string_view name);
+  void instant(double ts, std::uint32_t lane, std::string_view cat,
+               std::string_view name, std::vector<TraceArg> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  std::string jsonl() const;
+  std::string chrome_json() const;
+
+ private:
+  void push(double ts, double dur, char phase, std::uint32_t lane,
+            std::string_view cat, std::string_view name,
+            std::vector<TraceArg> args);
+
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vmstorm::obs

@@ -88,6 +88,9 @@ JoinHandle Engine::spawn(Task<void> task) {
 }
 
 std::uint64_t Engine::run(SimTime until) {
+  // Log lines emitted by simulated components carry the simulated clock
+  // while the loop runs; nested run() calls restore the outer clock.
+  ScopedLogClock log_clock([this] { return now_seconds(); });
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     Event ev = queue_.top();
@@ -111,8 +114,8 @@ std::uint64_t Engine::run(SimTime until) {
     ev.handle.resume();
   }
   if (live_tasks_ > 0) {
-    LOG_WARN << "sim: event queue drained with " << live_tasks_
-             << " live task(s) still blocked";
+    VMSTORM_CLOG(kWarn, "sim") << "event queue drained with " << live_tasks_
+                               << " live task(s) still blocked";
   }
   return n;
 }

@@ -20,6 +20,10 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
+namespace vmstorm::obs {
+struct Recorder;
+}  // namespace vmstorm::obs
+
 namespace vmstorm::sim {
 
 class Engine;
@@ -116,6 +120,13 @@ class Engine {
   /// Queued wakeups dropped because their waiter was destroyed first.
   std::uint64_t cancelled_wakeups() const { return cancelled_wakeups_; }
 
+  /// Observability attachment point. The engine only carries the pointer
+  /// (it never dereferences it); instrumented components reach their
+  /// Recorder through here so the sim library needs no obs dependency.
+  /// Null (the default) disables all recording.
+  obs::Recorder* recorder() const { return recorder_; }
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   struct SleepAwaiter {
     Engine* engine;
@@ -145,6 +156,7 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t cancelled_wakeups_ = 0;
   std::size_t live_tasks_ = 0;
+  obs::Recorder* recorder_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

@@ -29,6 +29,9 @@ class FifoServer {
   Task<void> serve_with_overhead(Bytes bytes, SimTime overhead) {
     const SimTime arrival = engine_->now();
     const SimTime start = busy_until_ > arrival ? busy_until_ : arrival;
+    const SimTime wait = start - arrival;
+    total_queue_wait_ += wait;
+    if (wait > max_queue_wait_) max_queue_wait_ = wait;
     const SimTime duration = overhead + service_time(bytes);
     busy_until_ = start + duration;
     busy_time_ += duration;
@@ -56,12 +59,18 @@ class FifoServer {
   std::uint64_t requests() const { return requests_; }
   SimTime busy_time() const { return busy_time_; }
 
+  /// Total/maximum time requests spent queued before service began.
+  SimTime total_queue_wait() const { return total_queue_wait_; }
+  SimTime max_queue_wait() const { return max_queue_wait_; }
+
  private:
   Engine* engine_;
   BytesPerSecond rate_;
   SimTime fixed_overhead_;
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
+  SimTime total_queue_wait_ = 0;
+  SimTime max_queue_wait_ = 0;
   Bytes bytes_served_ = 0;
   std::uint64_t requests_ = 0;
 };

@@ -2,28 +2,49 @@
 
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace vmstorm::storage {
 
 Disk::Disk(sim::Engine& engine, DiskConfig cfg)
     : engine_(&engine), cfg_(cfg),
-      platter_(engine, cfg.rate, cfg.seek_overhead) {}
+      platter_(engine, cfg.rate, cfg.seek_overhead) {
+  if (obs::Recorder* rec = engine.recorder()) {
+    obs_cache_hits_ = &rec->metrics.counter("disk.cache_hits");
+    obs_cache_misses_ = &rec->metrics.counter("disk.cache_misses");
+    obs_queue_wait_ = &rec->metrics.histogram("disk.queue_wait_seconds");
+  }
+}
+
+void Disk::record_queue_wait() {
+  if (obs_queue_wait_) {
+    obs_queue_wait_->record(sim::to_seconds(platter_.backlog()));
+  }
+}
 
 sim::Task<void> Disk::read(std::uint64_t key, Bytes bytes) {
   auto it = cache_map_.find(key);
   if (it != cache_map_.end()) {
     // Cache hit: promote to MRU; memory-speed, no simulated delay.
     cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    ++cache_hits_;
+    if (obs_cache_hits_) obs_cache_hits_->add();
     co_return;
   }
+  ++cache_misses_;
+  if (obs_cache_misses_) obs_cache_misses_->add();
+  record_queue_wait();
   co_await platter_.serve(bytes);
   cache_insert(key, bytes);
 }
 
 sim::Task<void> Disk::read_uncached(Bytes bytes) {
+  record_queue_wait();
   co_await platter_.serve(bytes);
 }
 
 sim::Task<void> Disk::write_sync(Bytes bytes) {
+  record_queue_wait();
   co_await platter_.serve(bytes);
 }
 
@@ -64,6 +85,7 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
 }
 
 sim::Task<void> Disk::flusher(Bytes bytes) {
+  record_queue_wait();
   co_await platter_.serve(bytes);
   assert(dirty_bytes_ >= bytes);
   dirty_bytes_ -= bytes;

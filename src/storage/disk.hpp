@@ -28,6 +28,11 @@
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 
+namespace vmstorm::obs {
+class Counter;
+class ExpHistogram;
+}  // namespace vmstorm::obs
+
 namespace vmstorm::storage {
 
 struct DiskConfig {
@@ -70,8 +75,12 @@ class Disk {
   Bytes dirty_bytes() const { return dirty_bytes_; }
   Bytes bytes_read_platter() const { return platter_.bytes_served(); }
   sim::SimTime busy_time() const { return platter_.busy_time(); }
+  sim::SimTime queue_wait_time() const { return platter_.total_queue_wait(); }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
 
  private:
+  void record_queue_wait();
   void cache_insert(std::uint64_t key, Bytes bytes);
   sim::Task<void> flusher(Bytes bytes);
   void wake_dirty_waiters();
@@ -96,6 +105,13 @@ class Disk {
   std::deque<DirtyWaiter> dirty_waiters_;
   std::uint64_t flushes_in_flight_ = 0;
   std::vector<std::shared_ptr<sim::WaitRecord>> flush_waiters_;
+
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  // Registry handles, cached at construction; null without a recorder.
+  obs::Counter* obs_cache_hits_ = nullptr;
+  obs::Counter* obs_cache_misses_ = nullptr;
+  obs::ExpHistogram* obs_queue_wait_ = nullptr;
 };
 
 }  // namespace vmstorm::storage

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace vmstorm {
 namespace {
 
@@ -42,6 +45,74 @@ TEST(Log, OffSilencesEverything) {
   set_log_level(LogLevel::kOff);
   LOG_ERROR << "this must not crash";
   log_message(LogLevel::kError, "direct call below threshold is dropped");
+}
+
+struct SinkGuard {
+  ~SinkGuard() { set_log_sink(nullptr); }
+};
+
+TEST(Log, SinkReceivesRecords) {
+  LevelGuard level_guard;
+  SinkGuard sink_guard;
+  set_log_level(LogLevel::kInfo);
+  std::vector<LogRecord> records;
+  set_log_sink([&records](const LogRecord& r) { records.push_back(r); });
+
+  LOG_INFO << "hello " << 7;
+  LOG_DEBUG << "filtered out";
+  VMSTORM_CLOG(kWarn, "net") << "tagged";
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].message, "hello 7");
+  EXPECT_STREQ(records[0].component, "");
+  EXPECT_EQ(records[1].level, LogLevel::kWarn);
+  EXPECT_STREQ(records[1].component, "net");
+  EXPECT_EQ(records[1].message, "tagged");
+}
+
+TEST(Log, ScopedClockStampsSimTime) {
+  LevelGuard level_guard;
+  SinkGuard sink_guard;
+  set_log_level(LogLevel::kInfo);
+  std::vector<LogRecord> records;
+  set_log_sink([&records](const LogRecord& r) { records.push_back(r); });
+
+  {
+    ScopedLogClock clock([] { return 12.5; });
+    LOG_INFO << "inside";
+  }
+  LOG_INFO << "outside";
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].has_sim_time);
+  EXPECT_DOUBLE_EQ(records[0].sim_time, 12.5);
+  EXPECT_FALSE(records[1].has_sim_time);
+}
+
+TEST(Log, ParseLevel) {
+  LogLevel out = LogLevel::kOff;
+  EXPECT_TRUE(parse_log_level("debug", &out));
+  EXPECT_EQ(out, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("WARN", &out));
+  EXPECT_EQ(out, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("off", &out));
+  EXPECT_EQ(out, LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("chatty", &out));
+}
+
+TEST(Log, FormatRecord) {
+  LogRecord r;
+  r.level = LogLevel::kWarn;
+  r.component = "sim";
+  r.has_sim_time = true;
+  r.sim_time = 1.25;
+  r.message = "queue drained";
+  const std::string text = format_log_record(r);
+  EXPECT_NE(text.find("WARN"), std::string::npos);
+  EXPECT_NE(text.find("[sim]"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  EXPECT_NE(text.find("queue drained"), std::string::npos);
 }
 
 }  // namespace

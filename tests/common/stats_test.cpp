@@ -47,6 +47,27 @@ TEST(SampleSet, EmptyReturnsZero) {
   EXPECT_EQ(s.mean(), 0.0);
 }
 
+TEST(SampleSet, SummaryMatchesPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const SampleSet::Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 100u);
+  EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 100.0);
+  EXPECT_DOUBLE_EQ(sum.p50, s.percentile(50));
+  EXPECT_DOUBLE_EQ(sum.p95, s.percentile(95));
+  EXPECT_DOUBLE_EQ(sum.p99, s.percentile(99));
+}
+
+TEST(SampleSet, SummaryEmpty) {
+  SampleSet s;
+  const SampleSet::Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_EQ(sum.mean, 0.0);
+  EXPECT_EQ(sum.p99, 0.0);
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bucket 0
@@ -58,6 +79,26 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.bucket(0), 2u);
   EXPECT_EQ(h.bucket(2), 1u);
   EXPECT_EQ(h.bucket(4), 2u);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  // 100 samples spread uniformly: 10 per bucket.
+  for (int i = 0; i < 100; ++i) h.add((static_cast<double>(i) + 0.5) / 10.0);
+  // Uniform mass: percentile tracks the value axis within bucket width.
+  EXPECT_NEAR(h.percentile(50), 5.0, 1.0);
+  EXPECT_NEAR(h.percentile(95), 9.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, PercentileEmptyAndSingle) {
+  Histogram empty(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);  // lo when empty
+  Histogram one(0.0, 10.0, 5);
+  one.add(3.0);
+  const double p50 = one.percentile(50);
+  EXPECT_GE(p50, 2.0);  // inside bucket [2,4)
+  EXPECT_LE(p50, 4.0);
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vmstorm::obs {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.complete(1.0, 0.5, 0, "cat", "span");
+  t.instant(2.0, 0, "cat", "mark");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, RecordsEventsWhenEnabled) {
+  Tracer t;
+  t.set_enabled(true);
+  t.complete(1.0, 0.5, 3, "net", "transfer",
+             {TraceArg::uint("bytes", 1024), TraceArg::str("dst", "n2")});
+  t.begin(2.0, 1, "vm", "boot");
+  t.end(3.5, 1, "vm", "boot");
+  t.instant(4.0, 0, "cloud", "snapshot_start");
+  ASSERT_EQ(t.size(), 4u);
+  const TraceEvent& e = t.events()[0];
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_DOUBLE_EQ(e.ts, 1.0);
+  EXPECT_DOUBLE_EQ(e.dur, 0.5);
+  EXPECT_EQ(e.lane, 3u);
+  EXPECT_EQ(e.name, "transfer");
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].kind, TraceArg::Kind::kUint);
+  EXPECT_EQ(t.events()[1].phase, 'B');
+  EXPECT_EQ(t.events()[2].phase, 'E');
+  EXPECT_EQ(t.events()[3].phase, 'i');
+}
+
+TEST(Tracer, JsonlOneObjectPerLine) {
+  Tracer t;
+  t.set_enabled(true);
+  t.complete(1.0, 0.5, 0, "c", "a");
+  t.instant(2.0, 0, "c", "b");
+  const std::string jsonl = t.jsonl();
+  std::size_t lines = 0;
+  for (char ch : jsonl) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.find("{"), 0u);
+}
+
+TEST(Tracer, ChromeJsonShapeAndDeterminism) {
+  const auto build = [] {
+    Tracer t;
+    t.set_enabled(true);
+    t.complete(1.0, 0.5, 2, "net", "transfer", {TraceArg::num("mb", 1.5)});
+    return t.chrome_json();
+  };
+  const std::string j1 = build();
+  EXPECT_EQ(j1, build());
+  // Chrome trace_event essentials: phase, timestamps, pid/tid lanes.
+  EXPECT_NE(j1.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j1.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(j1.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(j1.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(j1.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(j1.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant(1.0, 0, "c", "x");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vmstorm::obs

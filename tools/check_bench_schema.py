@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the vmstorm-bench-v1 schema.
+
+Usage:  check_bench_schema.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Directories are scanned for BENCH_*.json. Exits non-zero and prints one
+line per violation if any artifact is malformed. Pure stdlib — no
+third-party schema library required.
+"""
+import json
+import pathlib
+import sys
+
+SCHEMA = "vmstorm-bench-v1"
+
+
+def fail(path, errors, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def check_point(path, errors, where, pt):
+    if not isinstance(pt, dict):
+        return fail(path, errors, f"{where}: point is not an object")
+    if "x" not in pt or "y" not in pt:
+        return fail(path, errors, f"{where}: point missing x/y")
+    if not isinstance(pt["x"], (int, float, str)):
+        fail(path, errors, f"{where}: x must be a number or category label")
+    if not isinstance(pt["y"], (int, float)) or isinstance(pt["y"], bool):
+        fail(path, errors, f"{where}: y must be a number")
+
+
+def check_metrics(path, errors, metrics):
+    if metrics is None:
+        return  # benches without a Cloud (real-I/O Bonnie) have no snapshot
+    if not isinstance(metrics, dict):
+        return fail(path, errors, "metrics must be an object or null")
+    for group in ("counters", "gauges", "histograms", "time_weighted"):
+        if group not in metrics:
+            fail(path, errors, f"metrics missing group '{group}'")
+        elif not isinstance(metrics[group], dict):
+            fail(path, errors, f"metrics group '{group}' is not an object")
+    for key, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, errors, f"counter '{key}' is not an integer")
+    for key, value in metrics.get("histograms", {}).items():
+        if not isinstance(value, dict) or "count" not in value:
+            fail(path, errors, f"histogram '{key}' missing count")
+
+
+def check_report(path, errors, doc):
+    if not isinstance(doc, dict):
+        return fail(path, errors, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(path, errors, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("name", "figure", "title"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            fail(path, errors, f"'{key}' must be a non-empty string")
+    if not isinstance(doc.get("quick"), bool):
+        fail(path, errors, "'quick' must be a boolean")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(path, errors, "'config' must be an object")
+    else:
+        fp = config.get("fingerprint")
+        if not (isinstance(fp, str) and len(fp) == 16
+                and all(c in "0123456789abcdef" for c in fp)):
+            fail(path, errors, "config.fingerprint must be 16 hex chars")
+
+    panels = doc.get("panels")
+    if not isinstance(panels, list) or not panels:
+        return fail(path, errors, "'panels' must be a non-empty array")
+    for pi, panel in enumerate(panels):
+        where = f"panels[{pi}]"
+        if not isinstance(panel, dict):
+            fail(path, errors, f"{where} is not an object")
+            continue
+        if not panel.get("title"):
+            fail(path, errors, f"{where} missing title")
+        series = panel.get("series")
+        if not isinstance(series, list) or not series:
+            fail(path, errors, f"{where}.series must be a non-empty array")
+            continue
+        for si, s in enumerate(series):
+            swhere = f"{where}.series[{si}]"
+            if not isinstance(s, dict) or not s.get("name"):
+                fail(path, errors, f"{swhere} missing name")
+                continue
+            pts = s.get("points")
+            if not isinstance(pts, list) or not pts:
+                fail(path, errors, f"{swhere}.points must be non-empty")
+                continue
+            for pt in pts:
+                check_point(path, errors, swhere, pt)
+            for pt in s.get("reference", []):
+                check_point(path, errors, f"{swhere}.reference", pt)
+
+    if "metrics" not in doc:
+        fail(path, errors, "'metrics' key missing (may be null, not absent)")
+    else:
+        check_metrics(path, errors, doc["metrics"])
+
+
+def collect(args):
+    paths = []
+    for arg in args:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            paths.append(p)
+    return paths
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    paths = collect(argv[1:])
+    if not paths:
+        print("check_bench_schema: no BENCH_*.json found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, errors, f"unreadable: {e}")
+            continue
+        check_report(path, errors, doc)
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(f"check_bench_schema: {len(paths)} artifact(s), "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
