@@ -10,9 +10,16 @@ namespace vmstorm::apps {
 
 namespace {
 
+// Bonnie measures REAL filesystem throughput (imgfs over memory or POSIX
+// devices), not simulated time, so wall-clock use is deliberate and funneled
+// through this single annotated helper.
+std::chrono::steady_clock::time_point wall_now() {
+  // vmlint:allow(determinism) bonnie times a real filesystem, not the sim
+  return std::chrono::steady_clock::now();
+}
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  return std::chrono::duration<double>(wall_now() - t0).count();
 }
 
 void fill_block(std::vector<std::byte>* buf, Rng* rng) {
@@ -39,7 +46,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
 
   // Phase 1: sequential block writes.
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     Bytes remaining = cfg.total;
     for (std::size_t f = 0; f < n_files; ++f) {
       VMSTORM_ASSIGN_OR_RETURN(id, fs.create("bonnie." + std::to_string(f)));
@@ -57,7 +64,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
 
   // Phase 2: sequential block reads of everything just written.
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     for (imgfs::InodeId id : files) {
       VMSTORM_ASSIGN_OR_RETURN(st, fs.stat(id));
       for (Bytes off = 0; off + cfg.block <= st.size; off += cfg.block) {
@@ -70,7 +77,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
 
   // Phase 3: sequential block overwrite.
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     for (imgfs::InodeId id : files) {
       VMSTORM_ASSIGN_OR_RETURN(st, fs.stat(id));
       for (Bytes off = 0; off + cfg.block <= st.size; off += cfg.block) {
@@ -84,7 +91,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
 
   // Phase 4: random seeks (seek + 8 KiB read at a random file offset).
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     for (std::uint32_t i = 0; i < cfg.seek_ops; ++i) {
       const imgfs::InodeId id = files[rng.uniform_u64(files.size())];
       VMSTORM_ASSIGN_OR_RETURN(st, fs.stat(id));
@@ -98,7 +105,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
 
   // Phase 5/6: file creation / deletion rates (empty files).
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     for (std::uint32_t i = 0; i < cfg.file_ops; ++i) {
       VMSTORM_ASSIGN_OR_RETURN(id, fs.create("tmp." + std::to_string(i)));
       (void)id;
@@ -106,7 +113,7 @@ Result<BonnieResult> run_bonnie(imgfs::FileSystem& fs,
     out.creates_per_s = cfg.file_ops / seconds_since(t0);
   }
   {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     for (std::uint32_t i = 0; i < cfg.file_ops; ++i) {
       VMSTORM_RETURN_IF_ERROR(fs.remove("tmp." + std::to_string(i)));
     }

@@ -113,6 +113,7 @@ std::vector<ChunkKey> ChunkStore::keys() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ChunkKey> out;
   out.reserve(chunks_.size());
+  // vmlint:allow(determinism) hash order neutralized by the sort below
   for (const auto& [k, p] : chunks_) out.push_back(k);
   std::sort(out.begin(), out.end());
   return out;
@@ -131,6 +132,7 @@ Bytes ChunkStore::stored_bytes() const {
 Bytes ChunkStore::resident_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Bytes n = 0;
+  // vmlint:allow(determinism) commutative integer sum; order cannot leak
   for (const auto& [k, p] : chunks_) n += p.resident_bytes();
   return n;
 }

@@ -63,7 +63,7 @@ class [[nodiscard]] Status {
   /// Must-succeed assertion: throws on a non-OK status. For examples,
   /// benches and test setup where a failure is a programming error; library
   /// code under src/ propagates with VMSTORM_RETURN_IF_ERROR instead
-  /// (enforced by tools/lint_status.py).
+  /// (enforced by the vmlint status-discipline rule, tools/vmlint/).
   void check() const {
     if (!is_ok()) throw std::logic_error("Status::check on error: " + to_string());
   }

@@ -22,8 +22,12 @@ Status MemDevice::pwrite(Bytes offset, std::span<const std::byte> in) {
 }
 
 void LatencyDevice::spin() const {
+  // Busy-wait on the real clock: this device emulates kernel/user crossing
+  // cost for real (non-simulated) imgfs runs and never feeds seeded results.
+  // vmlint:allow(determinism) wall-clock by design: real-latency emulation
   const auto until = std::chrono::steady_clock::now() +
                      std::chrono::nanoseconds(per_op_nanos_);
+  // vmlint:allow(determinism) wall-clock by design: real-latency emulation
   while (std::chrono::steady_clock::now() < until) {
     // busy-wait: emulated kernel/user crossing cost
   }

@@ -1,0 +1,26 @@
+// Fixture: deterministic counterparts — must produce zero findings.
+#include <chrono>
+#include <map>
+
+namespace fixture {
+
+struct Counters {
+  std::map<int, long> by_node_;  // ordered: iteration is deterministic
+  long total() const {
+    long t = 0;
+    for (const auto& [k, v] : by_node_) t += v;
+    return t;
+  }
+};
+
+inline double annotated_wall_seconds() {
+  // vmlint:allow(determinism) deliberate wall-clock in this fixture
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// A string literal mentioning rand() and steady_clock::now() must not trip
+// the tokenizer-aware rule.
+inline const char* docs() { return "call rand() or steady_clock::now()"; }
+
+}  // namespace fixture

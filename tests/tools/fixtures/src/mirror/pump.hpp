@@ -1,0 +1,15 @@
+// Fixture header: Task-returning declarations feed the coro-capture
+// registry (and a colliding void one, to prove overload subtraction works).
+#pragma once
+
+namespace fixture {
+
+sim::Task<void> pump_bytes(int n);
+sim::Task<void> drain_bytes(int n);
+
+// `read` appears with BOTH Task and void returns: the discarded-task
+// check must drop it from the registry rather than guess.
+sim::Task<void> read(int n);
+void read(char where);
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture header: Status-returning declarations feed the
+// status-discipline registry.
+#pragma once
+
+namespace fixture {
+
+Status send_all(int n);
+Result<int> recv_some(int n);
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: status-discipline violations, one per sub-rule.
+#include "net/conn.hpp"
+
+namespace fixture {
+
+struct Conn {
+  std::vector<std::coroutine_handle<>> waiters_;  // raw-waiter-container
+
+  int naked() {
+    auto r = recv_some(1);
+    return r.value();  // naked-value: no guard in sight
+  }
+
+  void discards() {
+    (void)send_all(1);  // void-suppressed-status
+    send_all(2);        // discarded-status
+  }
+
+  void wake(sim::Engine* engine, Rec* rec) {
+    engine->schedule_after(10, rec->handle);  // unguarded-waiter-schedule
+  }
+};
+
+}  // namespace fixture

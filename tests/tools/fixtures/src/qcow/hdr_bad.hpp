@@ -1,0 +1,9 @@
+// Fixture: header-hygiene violations — no #pragma once anywhere, an
+// unqualified project include, and a layer-qualified include that does
+// not resolve under src/.
+#include "hdr_helper.hpp"       // unqualified-include
+#include "qcow/nonexistent.hpp" // unresolved-include
+
+namespace fixture {
+inline int bad() { return 0; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: a hygienic header — zero findings.
+#pragma once
+
+#include "qcow/hdr_helper.hpp"
+
+namespace fixture {
+inline int good() { return helper(); }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a clean helper header for hdr_good.hpp to include.
+#pragma once
+
+namespace fixture {
+inline int helper() { return 42; }
+}  // namespace fixture

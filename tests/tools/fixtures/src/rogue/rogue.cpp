@@ -1,0 +1,4 @@
+// Fixture: a directory not declared in layers.toml at all.
+namespace fixture {
+inline int rogue() { return 1; }
+}  // namespace fixture

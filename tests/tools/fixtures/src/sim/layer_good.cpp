@@ -1,0 +1,12 @@
+// Fixture: legal includes for the sim layer — zero findings. The
+// obs/recorder.hpp edge is the single sanctioned [[exceptions]] entry.
+#include "common/log.hpp"
+#include "obs/recorder.hpp"
+#include "sim/layer_good.hpp"
+
+// A commented-out include must not count:
+// #include "cloud/cloud.hpp"
+
+namespace fixture {
+inline int noop() { return 0; }
+}  // namespace fixture

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""vmlint framework self-test (pytest-free; registered as ctest
+`vmlint_selftest`).
+
+Covers the tokenizer's hard cases (raw strings, continuations, masked
+lines), every rule against one violating + one clean fixture under
+tests/tools/fixtures/, the allow/baseline escape hatches, layer-table
+validation, and the CLI surface. Runs every test, prints one line per
+test, exits nonzero if any failed.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+VMLINT_DIR = os.path.join(REPO, "tools", "vmlint")
+VMLINT_PY = os.path.join(VMLINT_DIR, "vmlint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+sys.path.insert(0, VMLINT_DIR)
+
+import core  # noqa: E402
+from rules import make_rules  # noqa: E402
+from rules.layer_dag import load_layers  # noqa: E402
+from tokenizer import tokenize, masked_lines  # noqa: E402
+
+
+def run_rule(rule_name):
+    """All findings for one rule over the fixture tree, as a set of
+    (rel, line, rule_label) triples."""
+    project = core.walk_project(FIXTURES)
+    findings = core.run_rules(project, make_rules([rule_name]))
+    return {(f.rel, f.line, f.rule_label()) for f, _ in findings}
+
+
+def line_of(rel, marker):
+    """1-based line of the first fixture line containing `marker`."""
+    path = os.path.join(FIXTURES, rel)
+    with open(path, encoding="utf-8") as f:
+        for idx, line in enumerate(f):
+            if marker in line:
+                return idx + 1
+    raise AssertionError(f"marker {marker!r} not found in {rel}")
+
+
+# ---------------------------------------------------------------- tokenizer
+
+def test_tokenizer_kinds():
+    toks = tokenize('int x = 42; // c\nauto s = "hi\\"there";\n')
+    kinds = [(t.kind, t.text) for t in toks]
+    assert ("id", "int") in kinds and ("num", "42") in kinds, kinds
+    assert ("comment", "// c") in kinds, kinds
+    assert ("str", '"hi\\"there"') in kinds, kinds
+
+
+def test_tokenizer_raw_strings():
+    src = 'auto a = R"(no // comment "quotes" here)"; int b;'
+    toks = tokenize(src)
+    strs = [t for t in toks if t.kind == "str"]
+    assert len(strs) == 1, strs
+    assert strs[0].text == 'R"(no // comment "quotes" here)"', strs[0].text
+    assert any(t.text == "b" for t in toks)
+
+    # Custom delimiter containing a plain `)"` that must NOT close it.
+    src = 'auto x = R"xy(inner )" still inner)xy"; f();'
+    toks = tokenize(src)
+    strs = [t for t in toks if t.kind == "str"]
+    assert strs[0].text == 'R"xy(inner )" still inner)xy"', strs[0].text
+    assert any(t.text == "f" for t in toks)
+
+    # Prefixed raw string and prefixed ordinary string.
+    toks = tokenize('u8R"(p)" L"wide" u8"narrow"')
+    assert [t.kind for t in toks] == ["str", "str", "str"]
+
+
+def test_tokenizer_line_continuation():
+    # A // comment continued over a backslash-newline swallows both lines.
+    src = "int a; // comment \\\nstill comment\nint b;"
+    toks = tokenize(src)
+    ids = [t.text for t in toks if t.kind == "id"]
+    assert "b" in ids and "still" not in ids, ids
+    comment = next(t for t in toks if t.kind == "comment")
+    assert "still comment" in comment.text
+
+    # Backslash-newline between tokens is plain whitespace.
+    toks = tokenize("int \\\nc;")
+    assert [t.text for t in toks if t.kind == "id"] == ["int", "c"]
+
+
+def test_tokenizer_block_comments_and_lines():
+    src = "a /* x\ny */ b\n"
+    toks = tokenize(src)
+    b = next(t for t in toks if t.text == "b")
+    assert b.line == 2, b
+    comment = next(t for t in toks if t.kind == "comment")
+    assert comment.line == 1 and "y */" in comment.text
+
+
+def test_tokenizer_numbers_and_chars():
+    toks = tokenize("x = 1'000'000 + 0x1p-3 + 1e+9f; char c = '\\n';")
+    nums = [t.text for t in toks if t.kind == "num"]
+    assert nums == ["1'000'000", "0x1p-3", "1e+9f"], nums
+    chars = [t.text for t in toks if t.kind == "char"]
+    assert chars == ["'\\n'"], chars
+
+
+def test_tokenizer_unterminated_tolerance():
+    # Unterminated literals/comments close at EOL/EOF instead of raising.
+    toks = tokenize('auto s = "oops\nint next;')
+    assert any(t.text == "next" for t in toks)
+    toks = tokenize("/* never closed\nint a;")
+    assert toks[0].kind == "comment" and len(toks) == 1
+
+
+def test_masked_lines():
+    src = 'call("rand()"); // rand()\nreal_rand();\n'
+    lines = masked_lines(src, tokenize(src))
+    assert "rand" not in lines[0], lines[0]
+    assert lines[1] == "real_rand();", lines[1]
+    # Columns preserved: the `;` after the call keeps its position.
+    assert lines[0].index(";") == src.splitlines()[0].index(";")
+
+
+# --------------------------------------------------------------- rule tests
+
+def test_determinism_rule():
+    bad = "src/blob/det_bad.cpp"
+    got = run_rule("determinism")
+    want = {
+        (bad, line_of(bad, "hash-order-iter"), "determinism"),
+        (bad, line_of(bad, "// wall-clock"), "determinism"),
+        (bad, line_of(bad, "random-device"), "determinism"),
+        (bad, line_of(bad, "ambient-rand"), "determinism"),
+    }
+    assert got == want, (got, want)  # det_good.cpp contributes nothing
+
+
+def test_coro_capture_rule():
+    bad = "src/mirror/coro_bad.cpp"
+    got = run_rule("coro-capture")
+    want = {
+        (bad, line_of(bad, "lambda-coro-capture"),
+         "coro-capture/lambda-coro-capture"),
+        (bad, line_of(bad, "spawned-capture"),
+         "coro-capture/spawned-capture"),
+        (bad, line_of(bad, "discarded-task"),
+         "coro-capture/discarded-task"),
+    }
+    assert got == want, (got, want)
+
+
+def test_layer_dag_rule():
+    bad = "src/sim/layer_bad.cpp"
+    got = run_rule("layer-dag")
+    want = {
+        (bad, line_of(bad, '"cloud/cloud.hpp"'), "layer-dag"),
+        (bad, line_of(bad, '"storage/disk.hpp"'), "layer-dag"),
+        ("src/rogue/rogue.cpp", 1, "layer-dag"),
+    }
+    assert got == want, (got, want)  # exception edge + comment not flagged
+
+
+def test_status_discipline_rule():
+    bad = "src/net/status_bad.cpp"
+    got = run_rule("status-discipline")
+    want = {
+        (bad, line_of(bad, "raw-waiter-container"),
+         "status-discipline/raw-waiter-container"),
+        (bad, line_of(bad, "naked-value"),
+         "status-discipline/naked-value"),
+        (bad, line_of(bad, "void-suppressed-status"),
+         "status-discipline/void-suppressed-status"),
+        (bad, line_of(bad, "discarded-status"),
+         "status-discipline/discarded-status"),
+        (bad, line_of(bad, "unguarded-waiter-schedule"),
+         "status-discipline/unguarded-waiter-schedule"),
+    }
+    assert got == want, (got, want)  # legacy lint:allow shim keeps working
+
+
+def test_header_hygiene_rule():
+    bad = "src/qcow/hdr_bad.hpp"
+    got = run_rule("header-hygiene")
+    want = {
+        (bad, 1, "header-hygiene/missing-pragma-once"),
+        (bad, line_of(bad, "unqualified-include"),
+         "header-hygiene/unqualified-include"),
+        (bad, line_of(bad, "unresolved-include"),
+         "header-hygiene/unresolved-include"),
+    }
+    assert got == want, (got, want)
+
+
+# ----------------------------------------------------- escapes and baseline
+
+def test_baseline_roundtrip():
+    project = core.walk_project(FIXTURES)
+    findings = core.run_rules(project, make_rules(["determinism"]))
+    assert findings
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "baseline.txt")
+        core.save_baseline(path, [f.baseline_key(sf) for f, sf in findings])
+        baseline = core.load_baseline(path)
+        new, grandfathered, stale = core.apply_baseline(findings, baseline)
+        assert not new and not stale, (new, stale)
+        assert len(grandfathered) == len(findings)
+
+        # A baseline entry whose finding was fixed reads as stale; --strict
+        # turns that into a failure, the default mode does not.
+        baseline["determinism\tsrc/gone.cpp\trand();"] += 1
+        new, grandfathered, stale = core.apply_baseline(findings, baseline)
+        assert len(stale) == 1, stale
+        devnull = open(os.devnull, "w")
+        assert core.print_report(new, grandfathered, stale, 1, 1,
+                                 strict=False, out=devnull) == 0
+        assert core.print_report(new, grandfathered, stale, 1, 1,
+                                 strict=True, out=devnull) == 1
+        devnull.close()
+
+
+def test_layers_validation():
+    with tempfile.TemporaryDirectory() as tmp:
+        cyclic = os.path.join(tmp, "cyclic.toml")
+        with open(cyclic, "w") as f:
+            f.write('[layers]\na = ["b"]\nb = ["a"]\n')
+        try:
+            load_layers(cyclic)
+            raise AssertionError("cycle not detected")
+        except ValueError as err:
+            assert "cycle" in str(err), err
+
+        dangling = os.path.join(tmp, "dangling.toml")
+        with open(dangling, "w") as f:
+            f.write('[layers]\na = ["ghost"]\n')
+        try:
+            load_layers(dangling)
+            raise AssertionError("undeclared dep not detected")
+        except ValueError as err:
+            assert "undeclared" in str(err), err
+
+
+# ----------------------------------------------------------------- CLI end
+
+def test_cli_reports_file_line():
+    proc = subprocess.run(
+        [sys.executable, VMLINT_PY, "--root", FIXTURES,
+         "--rules", "determinism", "--strict"],
+        capture_output=True, text=True)
+    assert proc.returncode == 1, proc
+    bad = "src/blob/det_bad.cpp"
+    expected = f"{bad}:{line_of(bad, 'ambient-rand')}: determinism:"
+    assert expected in proc.stdout, (expected, proc.stdout)
+
+
+def test_cli_list_rules():
+    proc = subprocess.run([sys.executable, VMLINT_PY, "--list-rules"],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc
+    for rule in ("determinism", "coro-capture", "layer-dag",
+                 "status-discipline", "header-hygiene"):
+        assert rule in proc.stdout, (rule, proc.stdout)
+
+
+def test_cli_unknown_rule():
+    proc = subprocess.run(
+        [sys.executable, VMLINT_PY, "--root", FIXTURES, "--rules", "bogus"],
+        capture_output=True, text=True)
+    assert proc.returncode == 2, proc
+    assert "unknown rule" in proc.stderr, proc.stderr
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as err:
+            failed += 1
+            print(f"FAIL {name}: {err}")
+    print(f"test_vmlint: {len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

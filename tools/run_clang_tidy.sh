@@ -57,8 +57,21 @@ if [ "${#FILES[@]}" -eq 0 ]; then
 fi
 
 echo "run_clang_tidy: $TIDY over ${#FILES[@]} file(s) (db: $BUILD_DIR)" >&2
-"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
-status=$?
+if [ "$STRICT" = 1 ]; then
+  # Strict (CI) mode: keep the full diagnostics and follow them with a
+  # per-check finding count so a failing job names the offending checks
+  # without scrolling the log.
+  OUT=$(mktemp)
+  trap 'rm -f "$OUT"' EXIT
+  "$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}" | tee "$OUT"
+  status=${PIPESTATUS[0]}
+  echo "run_clang_tidy: findings by check:" >&2
+  grep -oE '\[[a-z][a-z0-9.-]*\]$' "$OUT" | sort | uniq -c | sort -rn >&2 \
+    || echo "  (none)" >&2
+else
+  "$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+  status=$?
+fi
 if [ $status -eq 0 ]; then
   echo "run_clang_tidy: OK" >&2
 fi

@@ -1,0 +1,66 @@
+"""header-hygiene: static half of the header self-containment gate.
+
+Every header in src/ must be includable on its own — the CMake target
+`vmstorm_header_check` (ctest `vmlint_header_selfcontained`) proves it by
+compiling one generated TU per header that includes the header twice.
+This rule covers the static properties that don't need a compiler:
+
+  missing-pragma-once  every src/ header guards itself with #pragma once
+  unqualified-include  quoted project includes must be layer-qualified
+                       ("sim/task.hpp", never "task.hpp"): relative
+                       includes bypass the layer-dag rule and make the
+                       include graph ambiguous under -I src
+  unresolved-include   layer-qualified includes resolve to files that
+                       exist under src/ (catches renames whose stale
+                       includes only break in out-of-tree builds)
+"""
+
+import os
+import re
+
+from core import Finding
+
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s*"(?P<path>[^"]+)"')
+RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+class HeaderHygieneRule:
+    name = "header-hygiene"
+    description = ("src/ headers: #pragma once, layer-qualified includes, "
+                   "and resolvable include paths")
+
+    def prepare(self, project):
+        self._project = project
+
+    def visit(self, sf, tokens):
+        if not sf.in_dir("src") or not sf.rel.endswith((".hpp", ".h")):
+            return []
+        findings = []
+
+        def report(line, msg, subrule):
+            findings.append(Finding(self.name, sf.rel, line, msg,
+                                    subrule=subrule))
+
+        if not any(RE_PRAGMA_ONCE.match(line) for line in sf.lines):
+            report(1, "header lacks #pragma once (required: headers are "
+                      "compiled standalone by vmstorm_header_check)",
+                   "missing-pragma-once")
+
+        for idx, line in enumerate(sf.lines):
+            m = RE_INCLUDE.match(line)
+            if not m:
+                continue
+            inc = m.group("path")
+            if "/" not in inc:
+                report(idx + 1,
+                       f"unqualified include \"{inc}\": project includes "
+                       "are layer-qualified (\"<layer>/<file>\") so the "
+                       "layer-dag rule can see them", "unqualified-include")
+                continue
+            target = os.path.join(self._project.root, "src",
+                                  inc.replace("/", os.sep))
+            if not os.path.isfile(target):
+                report(idx + 1,
+                       f"include \"{inc}\" does not resolve under src/",
+                       "unresolved-include")
+        return findings

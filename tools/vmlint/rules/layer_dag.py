@@ -1,0 +1,105 @@
+"""layer-dag: enforce the src/ include DAG declared in layers.toml.
+
+Layering is what keeps the simulator deterministic and testable in
+isolation: sim cannot reach into obs (it carries only a forward-declared
+Recorder*), storage cannot know about blob, and nothing below cloud can
+see the orchestration layer. The table is declarative —
+tools/vmlint/layers.toml — so adding a layer or sanctioning an edge is a
+data change, reviewed as such, not a lint-code change.
+
+The rule checks every `#include "first_segment/..."` in src/<layer>/
+against the table: the edge is legal if first_segment is the layer itself
+or one of its declared deps, or the (layer, include) pair is listed under
+[[exceptions]]. Includes of unknown first segments (std headers via
+quotes, same-directory includes without a layer prefix) are ignored —
+header-hygiene enforces the `layer/file.hpp` include style separately.
+The table itself is validated to be acyclic at load time.
+"""
+
+import os
+import re
+import tomllib
+
+from core import Finding
+
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s*"(?P<path>[^"]+)"')
+
+
+def load_layers(path):
+    """Parses layers.toml -> (deps: dict layer -> set, exceptions: set of
+    (layer, include)). Raises ValueError on cycles or unknown deps."""
+    with open(path, "rb") as f:
+        data = tomllib.load(f)
+    deps = {layer: set(ds) for layer, ds in data.get("layers", {}).items()}
+    for layer, ds in deps.items():
+        unknown = ds - deps.keys()
+        if unknown:
+            raise ValueError(
+                f"layers.toml: layer '{layer}' depends on undeclared "
+                f"layer(s): {', '.join(sorted(unknown))}")
+    # Cycle check: depth-first walk with a visitation stack.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {layer: WHITE for layer in deps}
+
+    def dfs(layer, stack):
+        color[layer] = GREY
+        for d in sorted(deps[layer]):
+            if color[d] == GREY:
+                cycle = " -> ".join(stack + [layer, d])
+                raise ValueError(f"layers.toml: dependency cycle: {cycle}")
+            if color[d] == WHITE:
+                dfs(d, stack + [layer])
+        color[layer] = BLACK
+
+    for layer in sorted(deps):
+        if color[layer] == WHITE:
+            dfs(layer, [])
+    exceptions = {(e["layer"], e["include"])
+                  for e in data.get("exceptions", [])}
+    return deps, exceptions
+
+
+class LayerDagRule:
+    name = "layer-dag"
+    description = "enforces the src/ include DAG from tools/vmlint/layers.toml"
+
+    def __init__(self, table_path=None):
+        self._table_path = table_path or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir,
+            "layers.toml")
+        self._deps = None
+        self._exceptions = None
+
+    def prepare(self, project):
+        self._deps, self._exceptions = load_layers(self._table_path)
+
+    def visit(self, sf, tokens):
+        if not sf.in_dir("src"):
+            return []
+        parts = sf.rel.split("/")
+        if len(parts) < 3:  # src/<file> — not in a layer directory
+            return []
+        layer = parts[1]
+        if layer not in self._deps:
+            return [Finding(self.name, sf.rel, 1,
+                            f"directory src/{layer}/ is not declared in "
+                            "tools/vmlint/layers.toml; add it with its "
+                            "allowed deps")]
+        allowed = self._deps[layer] | {layer}
+        findings = []
+        for idx, line in enumerate(sf.lines):
+            m = RE_INCLUDE.match(line)
+            if not m:
+                continue
+            inc = m.group("path")
+            first = inc.split("/", 1)[0]
+            if "/" not in inc or first not in self._deps:
+                continue  # not a layer-qualified project include
+            if first in allowed or (layer, inc) in self._exceptions:
+                continue
+            findings.append(Finding(
+                self.name, sf.rel, idx + 1,
+                f"src/{layer}/ may not include \"{inc}\": allowed layers "
+                f"are {{{', '.join(sorted(allowed))}}} "
+                "(tools/vmlint/layers.toml)"))
+        return findings

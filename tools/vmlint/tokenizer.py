@@ -1,0 +1,205 @@
+"""Comment/string/raw-string-aware C++ tokenizer for vmlint.
+
+A lossless, tolerant lexer: every byte of the input is covered by exactly one
+token or by inter-token whitespace, so rules can reason about either the token
+stream or byte spans. It understands the constructs that defeat regex-based
+linting:
+
+  * `//` line comments, including backslash-newline continuations
+  * `/* ... */` block comments spanning lines
+  * string and character literals with escape sequences
+  * encoding prefixes (`u8"..."`, `L'x'`, ...)
+  * raw string literals `R"delim( ... )delim"` with arbitrary delimiters
+  * digit separators and exponents in numeric literals
+
+It does NOT run the preprocessor; `#include` lines are ordinary tokens
+(`#`, `include`, string-literal). Unterminated literals are closed at
+end-of-line (strings/chars) or end-of-file (block comments, raw strings)
+rather than raising, so a syntactically broken file still lints.
+
+Token kinds: 'id', 'num', 'str', 'char', 'punct', 'comment'.
+"""
+
+from dataclasses import dataclass
+
+# Identifiers that are string-literal prefixes when glued to a quote.
+_RAW_PREFIXES = {"R", "u8R", "uR", "LR", "UR"}
+_STR_PREFIXES = {"u8", "u", "L", "U"}
+
+# Multi-character operators worth keeping whole (rules match on '::', '->').
+_PUNCT2 = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+           "+=", "-=", "*=", "/=", "|=", "&=", "^=", "++", "--"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'id' | 'num' | 'str' | 'char' | 'punct' | 'comment'
+    text: str   # exact source text, including quotes/comment markers
+    line: int   # 1-based line of the token's first character
+    col: int    # 1-based column of the token's first character
+    start: int  # absolute byte offset (inclusive)
+    end: int    # absolute byte offset (exclusive)
+
+
+def _is_id_start(c):
+    return c.isalpha() or c == "_" or c == "$"
+
+
+def _is_id_char(c):
+    return c.isalnum() or c == "_" or c == "$"
+
+
+def tokenize(text):
+    """Tokenizes C++ source text. Returns a list of Token."""
+    toks = []
+    i, n = 0, len(text)
+    line, col = 1, 1
+
+    def advance_over(j):
+        """Updates (line, col) for text[i:j] and returns j."""
+        nonlocal line, col
+        seg = text[i:j]
+        nl = seg.count("\n")
+        if nl:
+            line += nl
+            col = j - text.rfind("\n", 0, j)
+        else:
+            col += j - i
+        return j
+
+    def emit(kind, j):
+        nonlocal i
+        toks.append(Token(kind, text[i:j], line, col, i, j))
+        i = advance_over(j)
+
+    def scan_string(j, quote, kind):
+        """From text[j] == quote to past the closing quote (or end of line)."""
+        j += 1
+        while j < n:
+            c = text[j]
+            if c == "\\" and j + 1 < n:
+                j += 2
+                continue
+            if c == quote:
+                return j + 1
+            if c == "\n":  # unterminated: tolerate, close at the newline
+                return j
+            j += 1
+        return j
+
+    def scan_raw_string(j):
+        """From text[j] == '"' in `R"delim(`; to past `)delim"` (or EOF)."""
+        j += 1
+        k = j
+        while k < n and text[k] not in "(\n)\\\t ":
+            k += 1
+        if k >= n or text[k] != "(":
+            # Malformed raw literal: fall back to ordinary string scanning.
+            return scan_string(j - 1, '"', "str")
+        delim = text[j:k]
+        closer = ")" + delim + '"'
+        pos = text.find(closer, k + 1)
+        return n if pos < 0 else pos + len(closer)
+
+    while i < n:
+        c = text[i]
+
+        # Whitespace and backslash-newline continuations between tokens.
+        if c in " \t\r\n\v\f":
+            i = advance_over(i + 1)
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i = advance_over(i + 2)
+            continue
+        if c == "\\" and i + 2 < n and text[i + 1] == "\r" and text[i + 2] == "\n":
+            i = advance_over(i + 3)
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i + 2
+            while j < n:
+                if text[j] == "\n":
+                    # A trailing backslash continues the comment.
+                    back = j - 1
+                    if back >= 0 and text[back] == "\r":
+                        back -= 1
+                    if back >= i and text[back] == "\\":
+                        j += 1
+                        continue
+                    break
+                j += 1
+            emit("comment", j)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            pos = text.find("*/", i + 2)
+            emit("comment", n if pos < 0 else pos + 2)
+            continue
+
+        # Identifiers — possibly a string/raw-string prefix.
+        if _is_id_start(c):
+            j = i + 1
+            while j < n and _is_id_char(text[j]):
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] == '"' and word in _RAW_PREFIXES:
+                emit("str", scan_raw_string(j))
+                continue
+            if j < n and text[j] == '"' and word in _STR_PREFIXES:
+                emit("str", scan_string(j, '"', "str"))
+                continue
+            if j < n and text[j] == "'" and word in _STR_PREFIXES:
+                emit("char", scan_string(j, "'", "char"))
+                continue
+            emit("id", j)
+            continue
+
+        # Numeric literals (incl. 1'000'000, 0x1p-3, 1e+9, 1.5f).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d.isalnum() or d in "._'":
+                    j += 1
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            emit("num", j)
+            continue
+
+        if c == '"':
+            emit("str", scan_string(i, '"', "str"))
+            continue
+        if c == "'":
+            emit("char", scan_string(i, "'", "char"))
+            continue
+
+        # Punctuation: join a small set of two-character operators.
+        if text[i:i + 2] in _PUNCT2:
+            emit("punct", i + 2)
+        else:
+            emit("punct", i + 1)
+
+    return toks
+
+
+def masked_lines(text, tokens):
+    """Source split into lines with comments blanked and literal contents
+    blanked (quotes kept), preserving columns. Regex-based rules run on
+    these lines so string/comment contents can never false-positive."""
+    buf = list(text)
+    for t in tokens:
+        if t.kind == "comment":
+            for j in range(t.start, t.end):
+                if buf[j] != "\n":
+                    buf[j] = " "
+        elif t.kind in ("str", "char"):
+            quote = '"' if t.kind == "str" else "'"
+            for j in range(t.start, t.end):
+                if buf[j] != "\n":
+                    buf[j] = " "
+            buf[t.start] = quote
+            if t.end - 1 > t.start and text[t.end - 1] == quote:
+                buf[t.end - 1] = quote
+    return "".join(buf).splitlines()
