@@ -29,6 +29,7 @@ int run() {
     auto cfg = bench::paper_cloud_config(n);
     cfg.chunk_size = chunk;
     cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    if (chunk == chunks.back()) c.obs().trace.set_enabled(true);
     auto m = c.multideploy(n, tp);
     const double msgs =
         static_cast<double>(c.network().total_messages()) / n;

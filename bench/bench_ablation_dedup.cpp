@@ -36,6 +36,7 @@ int run() {
     cfg.dedup = dedup;
     cfg.snapshot_shared_fraction = 0.6;
     cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    if (dedup) c.obs().trace.set_enabled(true);
     c.multideploy(n, tp);
     auto s = c.multisnapshot();
     if (!s.is_ok()) {

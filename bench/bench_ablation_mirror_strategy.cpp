@@ -32,6 +32,7 @@ int run() {
       cfg.mirror_prefetch_whole_chunks = s1;
       cfg.mirror_single_region_per_chunk = s2;
       cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+      if (s1 && s2) c.obs().trace.set_enabled(true);
       auto m = c.multideploy(n, tp);
       const std::string combo = std::string("prefetch=") + (s1 ? "on" : "off") +
                                 ",gapfill=" + (s2 ? "on" : "off");

@@ -38,6 +38,7 @@ int run() {
     auto cfg = bench::paper_cloud_config(n);
     cfg.prefetch_window = window;
     cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    if (window == 64u) c.obs().trace.set_enabled(true);
     if (window > 0) c.set_prefetch_profile(profile);
     auto m = c.multideploy(n, tp);
     const double x = static_cast<double>(window);

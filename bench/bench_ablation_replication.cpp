@@ -29,6 +29,7 @@ int run() {
     auto cfg = bench::paper_cloud_config(n);
     cfg.replication = r;
     cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    if (r == 3u) c.obs().trace.set_enabled(true);
     const double repo_gb = static_cast<double>(c.repository_bytes()) / 1e9;
     auto dep = c.multideploy(n, tp);
     auto snap = c.multisnapshot();

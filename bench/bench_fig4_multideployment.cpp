@@ -20,6 +20,9 @@ struct Row {
   double avg_boot = 0;
   double completion = 0;
   double traffic_gb = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
 };
 
 // Reference points digitized from the published Figure 4.
@@ -54,11 +57,20 @@ int run() {
        {Strategy::kPrepropagation, Strategy::kQcowOverPvfs, Strategy::kOurs}) {
     for (std::size_t n : sweep) {
       cloud::Cloud c(bench::paper_cloud_config(n), s);
+      // The capture run always traces: its artifact must carry attribution
+      // even when the environment didn't set VMSTORM_TRACE.
+      if (s == Strategy::kOurs && n == sweep.back()) {
+        c.obs().trace.set_enabled(true);
+      }
       auto m = c.multideploy(n, tp);
       Row r;
       r.avg_boot = m.boot_seconds.mean();
       r.completion = m.completion_seconds;
       r.traffic_gb = static_cast<double>(m.network_traffic) / 1e9;
+      const auto sum = m.boot_seconds.summary();
+      r.p50 = sum.p50;
+      r.p95 = sum.p95;
+      r.p99 = sum.p99;
       rows[s][n] = r;
       // Metrics snapshot from the biggest "ours" deployment — the run the
       // paper's analysis focuses on.
@@ -82,6 +94,11 @@ int run() {
     b.at("ours").reference = kPaper4bOurs;
     auto& c = report.panel("4c_speedup", "instances", "ratio");
     auto& d = report.panel("4d_traffic", "instances", "GB");
+    auto& t = report.panel("4a_boot_tails", "instances", "seconds");
+    const std::pair<Strategy, const char*> tail_series[] = {
+        {Strategy::kPrepropagation, "taktuk"},
+        {Strategy::kQcowOverPvfs, "qcow2_pvfs"},
+        {Strategy::kOurs, "ours"}};
     d.at("taktuk").reference = kPaper4dTaktuk;
     d.at("qcow2_pvfs").reference = kPaper4dQcow;
     d.at("ours").reference = kPaper4dOurs;
@@ -99,6 +116,12 @@ int run() {
       d.at("taktuk").add(x, rows[Strategy::kPrepropagation][n].traffic_gb);
       d.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].traffic_gb);
       d.at("ours").add(x, rows[Strategy::kOurs][n].traffic_gb);
+      for (const auto& [strat, label] : tail_series) {
+        const Row& r = rows[strat][n];
+        t.at(std::string(label) + "_p50").add(x, r.p50);
+        t.at(std::string(label) + "_p95").add(x, r.p95);
+        t.at(std::string(label) + "_p99").add(x, r.p99);
+      }
     }
   }
   report.write();
@@ -115,6 +138,15 @@ int run() {
                Table::num(paper_ref(kPaper4aOurs, n), 0)});
   }
   a.print();
+
+  std::printf("\nFig 4(a'): boot-time tails for our approach (s)\n");
+  Table tails({"instances", "p50", "p95", "p99"});
+  for (std::size_t n : sweep) {
+    const Row& r = rows[Strategy::kOurs][n];
+    tails.add_row({std::to_string(n), Table::num(r.p50, 2), Table::num(r.p95, 2),
+                   Table::num(r.p99, 2)});
+  }
+  tails.print();
 
   std::printf("\nFig 4(b): completion time to boot all instances (s)\n");
   Table b({"instances", "taktuk", "paper", "qcow2/PVFS", "paper", "ours", "paper"});

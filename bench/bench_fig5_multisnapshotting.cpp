@@ -19,6 +19,9 @@ struct Row {
   double avg_snap = 0;
   double completion = 0;
   double diff_mb = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
 };
 
 // Digitized from the published Figure 5.
@@ -45,6 +48,10 @@ int run() {
   for (Strategy s : {Strategy::kQcowOverPvfs, Strategy::kOurs}) {
     for (std::size_t n : sweep) {
       cloud::Cloud c(bench::paper_cloud_config(n), s);
+      // Capture run always traces so the artifact carries attribution.
+      if (s == Strategy::kOurs && n == sweep.back()) {
+        c.obs().trace.set_enabled(true);
+      }
       c.multideploy(n, tp);  // setup: creates the local modifications
       auto m = c.multisnapshot();
       if (!m.is_ok()) {
@@ -56,6 +63,10 @@ int run() {
       r.completion = m->completion_seconds;
       r.diff_mb = static_cast<double>(m->repository_growth) / 1e6 /
                   static_cast<double>(n);
+      const auto sum = m->snapshot_seconds.summary();
+      r.p50 = sum.p50;
+      r.p95 = sum.p95;
+      r.p99 = sum.p99;
       rows[s][n] = r;
       if (s == Strategy::kOurs && n == sweep.back()) {
         bench::capture_obs(report, c);
@@ -74,6 +85,9 @@ int run() {
     b.at("qcow2_pvfs").reference = kPaper5bQcow;
     b.at("ours").reference = kPaper5bOurs;
     auto& g = report.panel("repo_growth", "instances", "MB_per_instance");
+    auto& t = report.panel("5a_snapshot_tails", "instances", "seconds");
+    const std::pair<Strategy, const char*> tail_series[] = {
+        {Strategy::kQcowOverPvfs, "qcow2_pvfs"}, {Strategy::kOurs, "ours"}};
     for (std::size_t n : sweep) {
       const double x = static_cast<double>(n);
       a.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].avg_snap);
@@ -82,6 +96,12 @@ int run() {
       b.at("ours").add(x, rows[Strategy::kOurs][n].completion);
       g.at("qcow2_pvfs").add(x, rows[Strategy::kQcowOverPvfs][n].diff_mb);
       g.at("ours").add(x, rows[Strategy::kOurs][n].diff_mb);
+      for (const auto& [strat, label] : tail_series) {
+        const Row& r = rows[strat][n];
+        t.at(std::string(label) + "_p50").add(x, r.p50);
+        t.at(std::string(label) + "_p95").add(x, r.p95);
+        t.at(std::string(label) + "_p99").add(x, r.p99);
+      }
     }
   }
   report.write();
@@ -96,6 +116,15 @@ int run() {
                Table::num(paper_ref(kPaper5aOurs, n), 1)});
   }
   a.print();
+
+  std::printf("\nFig 5(a'): snapshot-time tails for our approach (s)\n");
+  Table tails({"instances", "p50", "p95", "p99"});
+  for (std::size_t n : sweep) {
+    const Row& r = rows[Strategy::kOurs][n];
+    tails.add_row({std::to_string(n), Table::num(r.p50, 2), Table::num(r.p95, 2),
+                   Table::num(r.p99, 2)});
+  }
+  tails.print();
 
   std::printf("\nFig 5(b): completion time to snapshot all instances (s)\n");
   Table b({"instances", "qcow2/PVFS", "paper", "ours", "paper"});

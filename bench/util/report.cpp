@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "cloud/cloud.hpp"
+#include "obs/critpath.hpp"
 #include "util/bench_util.hpp"
 
 namespace vmstorm::bench {
@@ -87,7 +88,7 @@ std::string Report::fingerprint() const {
 std::string Report::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("vmstorm-bench-v1");
+  w.key("schema").value("vmstorm-bench-v2");
   w.key("name").value(name_);
   w.key("figure").value(figure_);
   w.key("title").value(title_);
@@ -152,6 +153,12 @@ std::string Report::to_json() const {
   } else {
     w.raw(metrics_json_);
   }
+  w.key("attribution");
+  if (attribution_json_.empty()) {
+    w.null();
+  } else {
+    w.raw(attribution_json_);
+  }
   w.end_object();
   return w.take();
 }
@@ -199,10 +206,18 @@ void report_cloud_config(Report& report, const cloud::CloudConfig& cfg) {
 void capture_obs(Report& report, cloud::Cloud& cloud) {
   report.set_metrics_json(cloud.metrics_json());
   if (cloud.obs().trace.enabled()) {
+    const obs::CritReport crit =
+        obs::analyze_critical_paths(cloud.obs().trace.events());
+    report.set_attribution_json(obs::attribution_json(crit));
     const std::string path =
         bench_dir() + "/TRACE_" + report.name() + ".json";
     if (write_file(path, cloud.trace_chrome_json())) {
       std::printf("[artifact] %s (chrome://tracing)\n", path.c_str());
+    }
+    const std::string jsonl_path =
+        bench_dir() + "/TRACE_" + report.name() + ".jsonl";
+    if (write_file(jsonl_path, cloud.obs().trace.jsonl())) {
+      std::printf("[artifact] %s (vmstormctl critpath)\n", jsonl_path.c_str());
     }
   }
 }

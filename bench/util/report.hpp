@@ -1,4 +1,4 @@
-// Machine-readable benchmark reports (schema "vmstorm-bench-v1").
+// Machine-readable benchmark reports (schema "vmstorm-bench-v2").
 //
 // Every bench binary builds one Report mirroring the tables it prints:
 // panels hold named series of (x, y) points (x numeric for sweeps,
@@ -77,6 +77,12 @@ class Report {
   /// Attaches a metrics-registry snapshot (obs::Registry::to_json()).
   void set_metrics_json(std::string json) { metrics_json_ = std::move(json); }
 
+  /// Attaches critical-path attribution (obs::attribution_json()). Empty =
+  /// "attribution": null (tracing off, or nothing to attribute).
+  void set_attribution_json(std::string json) {
+    attribution_json_ = std::move(json);
+  }
+
   /// FNV-1a over the config entries; stable across runs of one build.
   std::string fingerprint() const;
 
@@ -95,12 +101,15 @@ class Report {
   std::vector<std::pair<std::string, std::string>> config_;
   // deque, not vector: panel() hands out long-lived references.
   std::deque<Panel> panels_;
-  std::string metrics_json_;  ///< empty = "metrics": null
+  std::string metrics_json_;      ///< empty = "metrics": null
+  std::string attribution_json_;  ///< empty = "attribution": null
 };
 
-/// Captures the Cloud's metrics registry into the report (collect + JSON),
-/// and — when tracing is enabled via VMSTORM_TRACE=1 — writes the Chrome
-/// trace alongside the artifact as TRACE_<name>.json.
+/// Captures the Cloud's metrics registry into the report (collect + JSON).
+/// When tracing is enabled it additionally runs the critical-path analyzer
+/// over the recorded spans (the "attribution" section of the artifact) and
+/// writes the trace alongside it, as TRACE_<name>.json (chrome://tracing)
+/// and TRACE_<name>.jsonl (the `vmstormctl critpath` input).
 void capture_obs(Report& report, cloud::Cloud& cloud);
 
 /// Records the standard testbed knobs (node count, image/chunk sizes,

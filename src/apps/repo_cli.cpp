@@ -10,6 +10,7 @@
 #include "blob/store.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/critpath.hpp"
 
 namespace vmstorm::apps {
 
@@ -209,6 +210,19 @@ Result<std::string> cmd_patch(const Parsed& p) {
   return os.str();
 }
 
+Result<std::string> cmd_critpath(const Parsed& p) {
+  if (p.positional.size() != 1) {
+    return invalid_argument("critpath <trace.jsonl>");
+  }
+  std::ifstream in(p.positional[0], std::ios::binary);
+  if (!in) return not_found("cannot open " + p.positional[0]);
+  std::ostringstream text;
+  text << in.rdbuf();
+  VMSTORM_ASSIGN_OR_RETURN(events, obs::parse_trace_jsonl(text.str()));
+  const obs::CritReport report = obs::analyze_critical_paths(events);
+  return obs::attribution_table(report);
+}
+
 }  // namespace
 
 Result<Bytes> parse_size(const std::string& text) {
@@ -237,7 +251,8 @@ std::string repo_cli_usage() {
          "  upload <repo> <file> [--chunk SIZE]\n"
          "  download <repo> <blob> <version> <file>\n"
          "  clone <repo> <blob> <version>\n"
-         "  patch <repo> <blob> <offset> <file>\n";
+         "  patch <repo> <blob> <offset> <file>\n"
+         "  critpath <trace.jsonl>\n";
 }
 
 Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
@@ -249,6 +264,7 @@ Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
   if (parsed.command == "download") return cmd_download(parsed);
   if (parsed.command == "clone") return cmd_clone(parsed);
   if (parsed.command == "patch") return cmd_patch(parsed);
+  if (parsed.command == "critpath") return cmd_critpath(parsed);
   return invalid_argument("unknown command '" + parsed.command + "'\n" +
                           repo_cli_usage());
 }

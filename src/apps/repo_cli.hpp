@@ -16,6 +16,8 @@
 //   clone <repo> <blob> <version>        -> prints the new blob id
 //   patch <repo> <blob> <offset> <file>  -> commits file content at offset,
 //                                           prints the new version
+//   critpath <trace.jsonl>               -> critical-path attribution tables
+//                                           from a TRACE_*.jsonl artifact
 #pragma once
 
 #include <string>

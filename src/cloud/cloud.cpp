@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/causal.hpp"
 #include "sim/sync.hpp"
 
 namespace vmstorm::cloud {
@@ -42,9 +43,11 @@ void Cloud::build_testbed() {
   network_ = std::make_unique<net::Network>(engine_, 2 * n + 2, cfg_.network);
   for (std::size_t i = 0; i < 2 * n; ++i) {
     disks_.push_back(std::make_unique<storage::Disk>(engine_, cfg_.disk));
+    disks_.back()->set_trace_lane(static_cast<std::uint32_t>(i));
     compute_nodes_.push_back(static_cast<net::NodeId>(i));
   }
   nfs_disk_ = std::make_unique<storage::Disk>(engine_, cfg_.disk);
+  nfs_disk_->set_trace_lane(static_cast<std::uint32_t>(2 * n));
   nfs_node_ = static_cast<net::NodeId>(2 * n);
   manager_node_ = static_cast<net::NodeId>(2 * n + 1);
   next_fresh_node_ = n;
@@ -135,6 +138,15 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
   const Bytes traffic0 = network_->total_traffic();
   const double t0 = engine_.now_seconds();
 
+  // Phase span: allocated before any child spawns so every coroutine of
+  // this deployment inherits it (or a descendant) as parent.
+  obs::Tracer* tr = sim::live_tracer(engine_);
+  std::uint64_t phase_span = 0;
+  if (tr) {
+    phase_span = tr->new_span();
+    engine_.set_current_span(phase_span);
+  }
+
   // Initialization phase (prepropagation only): broadcast the raw image.
   if (strategy_ == Strategy::kPrepropagation) {
     std::vector<net::NodeId> targets(compute_nodes_.begin(),
@@ -157,8 +169,12 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
     instances_.push_back(make_instance(i, next_salt_++));
   }
   for (std::size_t i = 0; i < n; ++i) {
+    vm::BootParams bpi = bp;
+    bpi.trace_lane = static_cast<std::uint32_t>(i);
+    bpi.trace_instance = i;
+    bpi.trace_kind = "boot";
     engine_.spawn(vm::run_boot(engine_, *instances_[i]->vmdisk, trace,
-                               root.fork(i), bp, &instances_[i]->boot));
+                               root.fork(i), bpi, &instances_[i]->boot));
     if (strategy_ == Strategy::kOurs && cfg_.prefetch_window > 0 &&
         !prefetch_profile_.empty()) {
       engine_.spawn(
@@ -175,20 +191,27 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
   for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
-  if (obs_.trace.enabled()) {
-    for (auto& inst : instances_) {
-      obs_.trace.complete(inst->boot.started, inst->boot.boot_seconds(),
-                          static_cast<std::uint32_t>(inst->node_index),
-                          "cloud", "boot");
-    }
-    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "multideploy",
-                        {obs::TraceArg::uint("instances", n)});
+  if (tr) {
+    // Per-instance attribution comes from the vm/boot root spans; the phase
+    // span only groups them in the chrome view.
+    tr->complete_span(t0, m.completion_seconds, 0, "cloud", "multideploy",
+                      phase_span, 0, {obs::TraceArg::uint("instances", n)});
+    engine_.set_current_span(0);
   }
   return m;
 }
 
 sim::Task<void> Cloud::snapshot_one(Instance& inst, double started,
                                     double* finished) {
+  // Root span for this snapshot: the analyzer attributes [started, finished]
+  // of each instance's snapshot against it.
+  obs::Tracer* tr = sim::live_tracer(engine_);
+  const std::uint64_t parent = engine_.current_span();
+  std::uint64_t span = 0;
+  if (tr) {
+    span = tr->new_span();
+    engine_.set_current_span(span);
+  }
   switch (strategy_) {
     case Strategy::kOurs: {
       if (!inst.cloned) {
@@ -218,10 +241,12 @@ sim::Task<void> Cloud::snapshot_one(Instance& inst, double started,
       break;
   }
   *finished = engine_.now_seconds();
-  if (obs_.trace.enabled()) {
-    obs_.trace.complete(started, *finished - started,
-                        static_cast<std::uint32_t>(inst.node_index), "cloud",
-                        "snapshot");
+  if (tr) {
+    tr->complete_span(started, *finished - started,
+                      static_cast<std::uint32_t>(inst.node_index), "cloud",
+                      "snapshot", span, parent,
+                      {obs::TraceArg::uint("instance", inst.node_index)});
+    engine_.set_current_span(parent);
   }
 }
 
@@ -235,6 +260,12 @@ Result<MultisnapshotMetrics> Cloud::multisnapshot() {
   const Bytes traffic0 = network_->total_traffic();
   const Bytes repo0 = repository_bytes();
   const double t0 = engine_.now_seconds();
+  obs::Tracer* tr = sim::live_tracer(engine_);
+  std::uint64_t phase_span = 0;
+  if (tr) {
+    phase_span = tr->new_span();
+    engine_.set_current_span(phase_span);
+  }
   std::vector<double> finished(instances_.size(), 0.0);
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     engine_.spawn(snapshot_one(*instances_[i], t0, &finished[i]));
@@ -248,9 +279,11 @@ Result<MultisnapshotMetrics> Cloud::multisnapshot() {
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
   m.repository_growth = repository_bytes() - repo0;
-  if (obs_.trace.enabled()) {
-    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "multisnapshot",
-                        {obs::TraceArg::uint("instances", instances_.size())});
+  if (tr) {
+    tr->complete_span(t0, m.completion_seconds, 0, "cloud", "multisnapshot",
+                      phase_span, 0,
+                      {obs::TraceArg::uint("instances", instances_.size())});
+    engine_.set_current_span(0);
   }
   return m;
 }
@@ -274,6 +307,13 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
   MultideployMetrics m;
   const Bytes traffic0 = network_->total_traffic();
   const double t0 = engine_.now_seconds();
+
+  obs::Tracer* tr = sim::live_tracer(engine_);
+  std::uint64_t phase_span = 0;
+  if (tr) {
+    phase_span = tr->new_span();
+    engine_.set_current_span(phase_span);
+  }
 
   std::vector<std::unique_ptr<Instance>> resumed;
   const vm::BootTrace trace = vm::BootTrace::generate(tp, cfg_.seed ^ 0x5e5);
@@ -331,8 +371,12 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
   next_fresh_node_ += instances_.size();
 
   for (std::size_t i = 0; i < resumed.size(); ++i) {
+    vm::BootParams bpi = bp;
+    bpi.trace_lane = static_cast<std::uint32_t>(resumed[i]->node_index);
+    bpi.trace_instance = i;
+    bpi.trace_kind = "resume";
     engine_.spawn(vm::run_boot(engine_, *resumed[i]->vmdisk, trace,
-                               root.fork(i), bp, &resumed[i]->boot));
+                               root.fork(i), bpi, &resumed[i]->boot));
   }
   engine_.run();
   instances_ = std::move(resumed);
@@ -342,14 +386,11 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
   for (auto& inst : instances_) last = std::max(last, inst->boot.finished);
   m.completion_seconds = last - t0;
   m.network_traffic = network_->total_traffic() - traffic0;
-  if (obs_.trace.enabled()) {
-    for (auto& inst : instances_) {
-      obs_.trace.complete(inst->boot.started, inst->boot.boot_seconds(),
-                          static_cast<std::uint32_t>(inst->node_index),
-                          "cloud", "resume");
-    }
-    obs_.trace.complete(t0, m.completion_seconds, 0, "cloud", "resume_boot",
-                        {obs::TraceArg::uint("instances", instances_.size())});
+  if (tr) {
+    tr->complete_span(t0, m.completion_seconds, 0, "cloud", "resume_boot",
+                      phase_span, 0,
+                      {obs::TraceArg::uint("instances", instances_.size())});
+    engine_.set_current_span(0);
   }
   return m;
 }
@@ -500,6 +541,11 @@ void Cloud::collect_metrics() {
 
   reg.gauge("cloud.instances").set(as_d(instances_.size()));
   reg.gauge("cloud.repository_bytes").set(as_d(repository_bytes()));
+
+  // Trace health: nonzero pairing errors or dangling begins mean the span
+  // instrumentation regressed somewhere.
+  reg.gauge("trace.pairing_errors").set(as_d(obs_.trace.pairing_errors()));
+  reg.gauge("trace.open_begins").set(as_d(obs_.trace.open_begins()));
 }
 
 std::string Cloud::metrics_json() {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "sim/causal.hpp"
 
 namespace vmstorm::dfs {
 
@@ -18,6 +19,7 @@ SimDfs::SimDfs(sim::Engine& engine, net::Network& network, StripedFs& fs,
   for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
     server_cpus_.push_back(std::make_unique<sim::FifoServer>(
         engine, /*rate=*/1e18, cfg_.server_request_cpu));
+    server_cpus_.back()->set_trace("dfs.cpu", server_nodes_[i]);
   }
 }
 
@@ -28,6 +30,16 @@ std::uint64_t SimDfs::stripe_cache_key(FileId file,
 
 sim::Task<void> SimDfs::read_piece(net::NodeId client, FileId file,
                                    StripePiece piece) {
+  // Repository-hinted span: DFS server disk/CPU time under it buckets as
+  // repo_disk, the wire time as net_transfer.
+  obs::Tracer* tr = sim::live_tracer(*engine_);
+  const std::uint64_t parent = engine_->current_span();
+  std::uint64_t span = 0;
+  if (tr) {
+    span = tr->new_span();
+    engine_->set_current_span(span);
+  }
+  const double start = engine_->now_seconds();
   auto server_work = [](SimDfs* self, FileId f, StripePiece p) -> sim::Task<void> {
     co_await self->server_cpus_.at(p.server)->serve(0);
     co_await self->server_disks_.at(p.server)->read(
@@ -36,10 +48,25 @@ sim::Task<void> SimDfs::read_piece(net::NodeId client, FileId file,
   co_await network_->round_trip(client, server_nodes_.at(piece.server),
                                 cfg_.request_bytes, piece.length,
                                 std::move(server_work));
+  if (tr) {
+    tr->complete_span(start, engine_->now_seconds() - start, client, "dfs",
+                      "read", span, parent,
+                      {obs::TraceArg::str("bucket", "repo"),
+                       obs::TraceArg::uint("bytes", piece.length)});
+    engine_->set_current_span(parent);
+  }
 }
 
 sim::Task<void> SimDfs::write_piece(net::NodeId client, FileId file,
                                     StripePiece piece) {
+  obs::Tracer* tr = sim::live_tracer(*engine_);
+  const std::uint64_t parent = engine_->current_span();
+  std::uint64_t span = 0;
+  if (tr) {
+    span = tr->new_span();
+    engine_->set_current_span(span);
+  }
+  const double start = engine_->now_seconds();
   auto server_work = [](SimDfs* self, FileId /*file*/, StripePiece p) -> sim::Task<void> {
     co_await self->server_cpus_.at(p.server)->serve(0);
     // PVFS acks a write once it is on the platter (no server-side write
@@ -49,6 +76,13 @@ sim::Task<void> SimDfs::write_piece(net::NodeId client, FileId file,
   co_await network_->round_trip(client, server_nodes_.at(piece.server),
                                 cfg_.request_bytes + piece.length,
                                 /*response_bytes=*/64, std::move(server_work));
+  if (tr) {
+    tr->complete_span(start, engine_->now_seconds() - start, client, "dfs",
+                      "write", span, parent,
+                      {obs::TraceArg::str("bucket", "repo"),
+                       obs::TraceArg::uint("bytes", piece.length)});
+    engine_->set_current_span(parent);
+  }
 }
 
 sim::Task<void> SimDfs::read(net::NodeId client, FileId file, Bytes offset,

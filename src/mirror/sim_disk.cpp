@@ -58,7 +58,7 @@ sim::Task<void> SimVirtualDisk::fetch_ranges(std::vector<ByteRange> ranges,
       auto it = by_chunk.find(ci);
       if (it == by_chunk.end() || it->second.is_hole()) continue;  // zeros: local
       if (register_inflight) {
-        inflight_[ci] = std::make_shared<sim::Event>(engine);
+        inflight_[ci] = std::make_shared<sim::Event>(engine, "mirror.inflight");
         registered.push_back(ci);
       }
       fetches.push_back(cluster_->fetch(node_, it->second,

@@ -49,15 +49,42 @@ void Tracer::complete(double ts, double dur, std::uint32_t lane,
   push(ts, dur, 'X', lane, cat, name, std::move(args));
 }
 
+void Tracer::complete_span(double ts, double dur, std::uint32_t lane,
+                           std::string_view cat, std::string_view name,
+                           SpanId id, SpanId parent,
+                           std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  push(ts, dur, 'X', lane, cat, name, std::move(args));
+  events_.back().id = id;
+  events_.back().parent = parent;
+}
+
+void Tracer::complete_in(double ts, double dur, std::uint32_t lane,
+                         std::string_view cat, std::string_view name,
+                         SpanId span, std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  push(ts, dur, 'X', lane, cat, name, std::move(args));
+  events_.back().span = span;
+}
+
 void Tracer::begin(double ts, std::uint32_t lane, std::string_view cat,
                    std::string_view name, std::vector<TraceArg> args) {
   if (!enabled_) return;
+  ++begin_depth_[lane];
   push(ts, -1, 'B', lane, cat, name, std::move(args));
 }
 
 void Tracer::end(double ts, std::uint32_t lane, std::string_view cat,
                  std::string_view name) {
   if (!enabled_) return;
+  auto it = begin_depth_.find(lane);
+  if (it == begin_depth_.end() || it->second == 0) {
+    // Unbalanced end: emitting it would produce a malformed Chrome trace, so
+    // count the error and drop the event. Surfaced as trace.pairing_errors.
+    ++pairing_errors_;
+    return;
+  }
+  --it->second;
   push(ts, -1, 'E', lane, cat, name, {});
 }
 
@@ -65,6 +92,35 @@ void Tracer::instant(double ts, std::uint32_t lane, std::string_view cat,
                      std::string_view name, std::vector<TraceArg> args) {
   if (!enabled_) return;
   push(ts, -1, 'i', lane, cat, name, std::move(args));
+}
+
+SpanId Tracer::flow_begin(double ts, std::uint32_t lane,
+                          std::string_view name) {
+  if (!enabled_) return 0;
+  const SpanId id = new_span();
+  push(ts, -1, 's', lane, "flow", name, {});
+  events_.back().id = id;
+  return id;
+}
+
+void Tracer::flow_end(double ts, std::uint32_t lane, std::string_view name,
+                      SpanId id) {
+  if (!enabled_ || id == 0) return;
+  push(ts, -1, 'f', lane, "flow", name, {});
+  events_.back().id = id;
+}
+
+std::uint64_t Tracer::open_begins() const {
+  std::uint64_t n = 0;
+  for (const auto& [lane, depth] : begin_depth_) n += depth;
+  return n;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  begin_depth_.clear();
+  pairing_errors_ = 0;
+  last_id_ = 0;
 }
 
 namespace {
@@ -85,6 +141,11 @@ void write_event(JsonWriter& w, const TraceEvent& ev, bool chrome) {
     if (ev.phase == 'X') w.key("dur").value(ev.dur);
     w.key("lane").value(static_cast<std::uint64_t>(ev.lane));
   }
+  if (ev.id != 0) w.key("id").value(ev.id);
+  if (ev.parent != 0) w.key("parent").value(ev.parent);
+  if (ev.span != 0) w.key("span").value(ev.span);
+  // Bind the arrow head to the enclosing slice (classic flow semantics).
+  if (chrome && ev.phase == 'f') w.key("bp").value(std::string_view("e"));
   if (!ev.args.empty()) {
     w.key("args").begin_object();
     for (const TraceArg& a : ev.args) {

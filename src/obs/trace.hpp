@@ -5,8 +5,16 @@
 // seconds. Recording is O(1) appends into a vector and a no-op while the
 // tracer is disabled, so leaving trace calls in hot paths costs one branch.
 //
+// Causality: events can carry span identity. A *span* event (complete_span)
+// owns a fresh id and names its parent, forming the span DAG the critical-
+// path analyzer (obs/critpath.hpp) walks. A *cost* event (complete_in) is a
+// leaf interval — service time or queue wait — attributed to the enclosing
+// span. Cross-coroutine wakeups are tied together with Chrome flow events
+// ('s' at the releaser, 'f' at the resumed waiter, same id).
+//
 // Two export formats:
-//   * jsonl()        — one JSON object per line, for jq/scripts;
+//   * jsonl()        — one JSON object per line, for jq/scripts and
+//                      `vmstormctl critpath`;
 //   * chrome_json()  — the Chrome trace_event array format, loadable in
 //                      chrome://tracing or https://ui.perfetto.dev (lanes
 //                      map to tids, simulated seconds to microseconds).
@@ -16,11 +24,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace vmstorm::obs {
+
+/// Span / flow identifier. 0 means "none"; allocated ids start at 1.
+using SpanId = std::uint64_t;
 
 /// One typed argument attached to a trace event; numbers stay numbers in
 /// the JSON export.
@@ -41,8 +53,12 @@ struct TraceArg {
 struct TraceEvent {
   double ts = 0;        ///< simulated seconds
   double dur = -1;      ///< >= 0 for complete ('X') events
-  char phase = 'i';     ///< 'X' complete, 'B' begin, 'E' end, 'i' instant
+  char phase = 'i';     ///< 'X' complete, 'B' begin, 'E' end, 'i' instant,
+                        ///< 's'/'f' flow start/finish
   std::uint32_t lane = 0;  ///< rendered as the Chrome tid (node/instance id)
+  SpanId id = 0;        ///< span events: own id; flow events: arrow binding
+  SpanId parent = 0;    ///< span events: enclosing span's id
+  SpanId span = 0;      ///< cost events: span this interval belongs to
   std::string cat;
   std::string name;
   std::vector<TraceArg> args;
@@ -53,10 +69,27 @@ class Tracer {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
+  /// Allocates a fresh span/flow id (never 0). Call sites gate allocation on
+  /// enabled(), so ids are deterministic for a given seed.
+  SpanId new_span() { return ++last_id_; }
+
   /// A span known only at completion: [ts, ts+dur).
   void complete(double ts, double dur, std::uint32_t lane,
                 std::string_view cat, std::string_view name,
                 std::vector<TraceArg> args = {});
+
+  /// A completed span with causal identity: carries its own id and its
+  /// parent's, forming the span DAG critpath walks.
+  void complete_span(double ts, double dur, std::uint32_t lane,
+                     std::string_view cat, std::string_view name, SpanId id,
+                     SpanId parent, std::vector<TraceArg> args = {});
+
+  /// A leaf cost interval (service time or queue wait) attributed to the
+  /// enclosing span `span`.
+  void complete_in(double ts, double dur, std::uint32_t lane,
+                   std::string_view cat, std::string_view name, SpanId span,
+                   std::vector<TraceArg> args = {});
+
   void begin(double ts, std::uint32_t lane, std::string_view cat,
              std::string_view name, std::vector<TraceArg> args = {});
   void end(double ts, std::uint32_t lane, std::string_view cat,
@@ -64,9 +97,21 @@ class Tracer {
   void instant(double ts, std::uint32_t lane, std::string_view cat,
                std::string_view name, std::vector<TraceArg> args = {});
 
+  /// Chrome flow arrow across coroutines: 's' at the releasing side (returns
+  /// the arrow id), 'f' at the resumed waiter (pass that id back).
+  SpanId flow_begin(double ts, std::uint32_t lane, std::string_view name);
+  void flow_end(double ts, std::uint32_t lane, std::string_view name,
+                SpanId id);
+
+  /// Begin/end pairing health. An end() on a lane with no open begin is
+  /// counted here and *dropped* (it would render as a malformed Chrome
+  /// trace); open_begins() is the number of begins still unclosed.
+  std::uint64_t pairing_errors() const { return pairing_errors_; }
+  std::uint64_t open_begins() const;
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear();
 
   std::string jsonl() const;
   std::string chrome_json() const;
@@ -77,6 +122,9 @@ class Tracer {
             std::vector<TraceArg> args);
 
   bool enabled_ = false;
+  SpanId last_id_ = 0;
+  std::uint64_t pairing_errors_ = 0;
+  std::map<std::uint32_t, std::uint64_t> begin_depth_;  ///< per-lane open begins
   std::vector<TraceEvent> events_;
 };
 

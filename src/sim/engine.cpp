@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "sim/causal.hpp"
 
 namespace vmstorm::sim {
 
@@ -35,7 +36,7 @@ DetachedTask detached_body(Engine* engine, Task<void> task,
   state->done = true;
   --*live_tasks;
   for (auto& rec : state->waiters) {
-    if (rec->alive) engine->schedule_after(0, rec->handle, alive_guard(rec));
+    if (rec->alive) wake_waiter(*engine, rec);
   }
   state->waiters.clear();
 }
@@ -44,9 +45,10 @@ DetachedTask detached_body(Engine* engine, Task<void> task,
 
 Task<void> JoinHandle::join(Engine& engine) {
   struct JoinAwaiter {
+    Engine* engine;
     JoinState* state;
     std::shared_ptr<WaitRecord> rec;
-    explicit JoinAwaiter(JoinState* s) : state(s) {}
+    JoinAwaiter(Engine* e, JoinState* s) : engine(e), state(s) {}
     JoinAwaiter(const JoinAwaiter&) = delete;
     JoinAwaiter& operator=(const JoinAwaiter&) = delete;
     ~JoinAwaiter() {
@@ -56,24 +58,26 @@ Task<void> JoinHandle::join(Engine& engine) {
     }
     bool await_ready() const noexcept { return state->done; }
     void await_suspend(std::coroutine_handle<> h) {
-      rec = std::make_shared<WaitRecord>();
-      rec->handle = h;
+      rec = make_wait_record(*engine, h);
       state->waiters.push_back(rec);
     }
     void await_resume() noexcept {
-      if (rec) rec->resumed = true;
+      if (!rec) return;
+      rec->resumed = true;
+      record_wait_edge(*engine, *rec, "sim.join");
     }
   };
-  (void)engine;
   assert(state_ && "joining an invalid handle");
-  co_await JoinAwaiter{state_.get()};
+  co_await JoinAwaiter{&engine, state_.get()};
   if (state_->exception) std::rethrow_exception(state_->exception);
 }
 
 void Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
-                         std::shared_ptr<const bool> alive) {
+                         std::shared_ptr<const bool> alive,
+                         std::uint64_t span) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, h, std::move(alive)});
+  if (span == kInheritSpan) span = current_span_;
+  queue_.push(Event{t, next_seq_++, h, std::move(alive), span});
 }
 
 JoinHandle Engine::spawn(Task<void> task) {
@@ -91,11 +95,15 @@ std::uint64_t Engine::run(SimTime until) {
   // Log lines emitted by simulated components carry the simulated clock
   // while the loop runs; nested run() calls restore the outer clock.
   ScopedLogClock log_clock([this] { return now_seconds(); });
+  // The caller's span context is restored on exit so nested run() calls (and
+  // phase code that set a span around the loop) see their own span again.
+  const std::uint64_t outer_span = current_span_;
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     Event ev = queue_.top();
     if (until >= 0 && ev.time > until) {
       now_ = until;
+      current_span_ = outer_span;
       return n;
     }
     queue_.pop();
@@ -109,10 +117,12 @@ std::uint64_t Engine::run(SimTime until) {
       continue;
     }
     now_ = ev.time;
+    current_span_ = ev.span;
     ++n;
     ++events_processed_;
     ev.handle.resume();
   }
+  current_span_ = outer_span;
   if (live_tasks_ > 0) {
     VMSTORM_CLOG(kWarn, "sim") << "event queue drained with " << live_tasks_
                                << " live task(s) still blocked";

@@ -38,6 +38,10 @@ struct WaitRecord {
   bool alive = true;    ///< false once the waiting coroutine frame is gone
   bool resumed = false; ///< set by await_resume: the wakeup was delivered
   bool granted = false; ///< a permit/item was handed over with the wakeup
+  std::uint64_t span = 0;        ///< waiter's span context, restored on wake
+  std::uint64_t waker_span = 0;  ///< span that released us (wait-edge holder)
+  std::uint64_t flow = 0;        ///< open Chrome flow arrow id (0 = none)
+  double wait_since = 0;         ///< simulated seconds at suspension
 };
 
 /// Aliasing guard into a WaitRecord's `alive` flag, suitable for passing to
@@ -85,16 +89,31 @@ class Engine {
   SimTime now() const { return now_; }
   double now_seconds() const { return to_seconds(now_); }
 
+  /// Sentinel span argument to schedule_at: the queued resumption inherits
+  /// the span that is current at schedule time.
+  static constexpr std::uint64_t kInheritSpan = ~std::uint64_t{0};
+
+  /// Causal span context. Every queued resumption captures a span id; run()
+  /// restores it before resuming the coroutine, so a process keeps its span
+  /// across co_await / sleep / spawn without any per-frame storage. 0 means
+  /// "no span" (tracing off or top-level code).
+  std::uint64_t current_span() const { return current_span_; }
+  void set_current_span(std::uint64_t span) { current_span_ = span; }
+
   /// Enqueues a coroutine resumption at absolute time t (>= now). The
   /// optional `alive` guard is re-checked just before resumption; a wakeup
   /// whose guard reads false is dropped (the waiter was destroyed while the
   /// wakeup was in flight). Wakeups for suspended waiters held in shared
-  /// lists must pass a guard — see WaitRecord / alive_guard.
+  /// lists must pass a guard — see WaitRecord / alive_guard. `span` is the
+  /// span context restored when the event fires; the default inherits the
+  /// span current at schedule time.
   void schedule_at(SimTime t, std::coroutine_handle<> h,
-                   std::shared_ptr<const bool> alive = {});
+                   std::shared_ptr<const bool> alive = {},
+                   std::uint64_t span = kInheritSpan);
   void schedule_after(SimTime dt, std::coroutine_handle<> h,
-                      std::shared_ptr<const bool> alive = {}) {
-    schedule_at(now_ + dt, h, std::move(alive));
+                      std::shared_ptr<const bool> alive = {},
+                      std::uint64_t span = kInheritSpan) {
+    schedule_at(now_ + dt, h, std::move(alive), span);
   }
 
   /// Awaitable: suspends the current process for dt simulated time.
@@ -120,10 +139,10 @@ class Engine {
   /// Queued wakeups dropped because their waiter was destroyed first.
   std::uint64_t cancelled_wakeups() const { return cancelled_wakeups_; }
 
-  /// Observability attachment point. The engine only carries the pointer
-  /// (it never dereferences it); instrumented components reach their
-  /// Recorder through here so the sim library needs no obs dependency.
-  /// Null (the default) disables all recording.
+  /// Observability attachment point. The engine itself only carries the
+  /// pointer; instrumented components (and the causal-tracing hooks in
+  /// sim/causal.hpp) reach their Recorder through here. Null (the default)
+  /// disables all recording.
   obs::Recorder* recorder() const { return recorder_; }
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
@@ -143,6 +162,7 @@ class Engine {
     std::uint64_t seq;
     std::coroutine_handle<> handle;
     std::shared_ptr<const bool> alive;  // empty = unconditional resumption
+    std::uint64_t span = 0;             // span context restored on resume
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -152,6 +172,7 @@ class Engine {
   friend class JoinHandle;
 
   SimTime now_ = 0;
+  std::uint64_t current_span_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t cancelled_wakeups_ = 0;

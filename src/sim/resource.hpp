@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "sim/causal.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -22,6 +23,16 @@ class FifoServer {
   /// time (e.g. protocol/latency overhead paid inside the server).
   FifoServer(Engine& engine, BytesPerSecond rate, SimTime fixed_overhead = 0)
       : engine_(&engine), rate_(rate), fixed_overhead_(fixed_overhead) {}
+
+  /// Labels the server's trace output. While the engine's tracer is live,
+  /// every request leaves a "svc" cost event for its service interval and a
+  /// "wait" cost event for any time queued behind earlier requests (holder =
+  /// the span whose request it queued behind). Unlabeled servers trace
+  /// nothing.
+  void set_trace(const char* name, std::uint32_t lane) {
+    trace_name_ = name;
+    trace_lane_ = lane;
+  }
 
   /// Serves a request of `bytes`; completes when the transfer would finish.
   Task<void> serve(Bytes bytes) { return serve_with_overhead(bytes, fixed_overhead_); }
@@ -37,6 +48,20 @@ class FifoServer {
     busy_time_ += duration;
     bytes_served_ += bytes;
     ++requests_;
+    if (trace_name_ != nullptr) {
+      if (obs::Tracer* tr = live_tracer(*engine_)) {
+        const std::uint64_t span = engine_->current_span();
+        if (wait > 0) {
+          tr->complete_in(to_seconds(arrival), to_seconds(wait), trace_lane_,
+                          "wait", trace_name_, span,
+                          {obs::TraceArg::uint("holder", last_holder_)});
+        }
+        tr->complete_in(to_seconds(start), to_seconds(duration), trace_lane_,
+                        "svc", trace_name_, span,
+                        {obs::TraceArg::uint("bytes", bytes)});
+        last_holder_ = span;
+      }
+    }
     co_await engine_->sleep_until(busy_until_);
   }
 
@@ -67,6 +92,9 @@ class FifoServer {
   Engine* engine_;
   BytesPerSecond rate_;
   SimTime fixed_overhead_;
+  const char* trace_name_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
+  std::uint64_t last_holder_ = 0;  ///< span whose request last held the server
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
   SimTime total_queue_wait_ = 0;

@@ -23,7 +23,7 @@ Task<void> gated(Semaphore* gate, Task<void> inner) {
 
 Task<void> when_all_limited(Engine& engine, std::vector<Task<void>> tasks,
                             std::size_t limit) {
-  Semaphore gate(engine, limit == 0 ? 1 : limit);
+  Semaphore gate(engine, limit == 0 ? 1 : limit, "sim.gate");
   std::vector<JoinHandle> handles;
   handles.reserve(tasks.size());
   for (auto& t : tasks) handles.push_back(engine.spawn(gated(&gate, std::move(t))));

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/causal.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
@@ -30,12 +31,12 @@ namespace vmstorm::sim {
 
 namespace detail {
 
-/// Creates a registered wait record for handle `h` at the back of `list`.
+/// Creates a registered wait record for handle `h` at the back of `list`,
+/// capturing the suspending coroutine's span context and block time.
 template <typename List>
-inline std::shared_ptr<WaitRecord> enlist_waiter(List& list,
+inline std::shared_ptr<WaitRecord> enlist_waiter(List& list, Engine& engine,
                                                  std::coroutine_handle<> h) {
-  auto rec = std::make_shared<WaitRecord>();
-  rec->handle = h;
+  auto rec = make_wait_record(engine, h);
   list.push_back(rec);
   return rec;
 }
@@ -53,9 +54,11 @@ inline std::size_t live_waiters(const List& list) {
 }  // namespace detail
 
 /// One-shot broadcast event. set() wakes every current and future waiter.
+/// `trace_name` labels the wait edges this primitive records.
 class Event {
  public:
-  explicit Event(Engine& engine) : engine_(&engine) {}
+  explicit Event(Engine& engine, const char* trace_name = "sim.event")
+      : engine_(&engine), trace_name_(trace_name) {}
 
   bool is_set() const { return set_; }
 
@@ -63,7 +66,7 @@ class Event {
     if (set_) return;
     set_ = true;
     for (auto& rec : waiters_) {
-      if (rec->alive) engine_->schedule_after(0, rec->handle, alive_guard(rec));
+      if (rec->alive) wake_waiter(*engine_, rec);
     }
     waiters_.clear();
   }
@@ -80,10 +83,12 @@ class Event {
       }
       bool await_ready() const noexcept { return ev->set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        rec = detail::enlist_waiter(ev->waiters_, h);
+        rec = detail::enlist_waiter(ev->waiters_, *ev->engine_, h);
       }
       void await_resume() noexcept {
-        if (rec) rec->resumed = true;
+        if (!rec) return;
+        rec->resumed = true;
+        record_wait_edge(*ev->engine_, *rec, ev->trace_name_);
       }
     };
     return Awaiter{this};
@@ -93,6 +98,7 @@ class Event {
 
  private:
   Engine* engine_;
+  const char* trace_name_;
   bool set_ = false;
   std::vector<std::shared_ptr<WaitRecord>> waiters_;
 };
@@ -102,8 +108,9 @@ class Event {
 /// re-released so later waiters are not starved.
 class Semaphore {
  public:
-  Semaphore(Engine& engine, std::size_t initial)
-      : engine_(&engine), count_(initial) {}
+  Semaphore(Engine& engine, std::size_t initial,
+            const char* trace_name = "sim.semaphore")
+      : engine_(&engine), trace_name_(trace_name), count_(initial) {}
 
   auto acquire() {
     struct Awaiter {
@@ -126,10 +133,12 @@ class Semaphore {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        rec = detail::enlist_waiter(sem->waiters_, h);
+        rec = detail::enlist_waiter(sem->waiters_, *sem->engine_, h);
       }
       void await_resume() noexcept {
-        if (rec) rec->resumed = true;
+        if (!rec) return;
+        rec->resumed = true;
+        record_wait_edge(*sem->engine_, *rec, sem->trace_name_);
       }
     };
     return Awaiter{this};
@@ -142,7 +151,7 @@ class Semaphore {
       if (!rec->alive) continue;  // waiter abandoned while queued
       // The permit is handed directly to the woken waiter.
       rec->granted = true;
-      engine_->schedule_after(0, rec->handle, alive_guard(rec));
+      wake_waiter(*engine_, rec);
       return;
     }
     ++count_;
@@ -153,6 +162,7 @@ class Semaphore {
 
  private:
   Engine* engine_;
+  const char* trace_name_;
   std::size_t count_;
   std::deque<std::shared_ptr<WaitRecord>> waiters_;
 };
@@ -162,7 +172,8 @@ class Semaphore {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(Engine& engine) : engine_(&engine) {}
+  explicit Channel(Engine& engine, const char* trace_name = "sim.channel")
+      : engine_(&engine), trace_name_(trace_name) {}
 
   void push(T value) {
     items_.push_back(std::move(value));
@@ -185,10 +196,12 @@ class Channel {
       }
       bool await_ready() const noexcept { return !ch->items_.empty(); }
       void await_suspend(std::coroutine_handle<> h) {
-        rec = detail::enlist_waiter(ch->waiters_, h);
+        rec = detail::enlist_waiter(ch->waiters_, *ch->engine_, h);
       }
       void await_resume() noexcept {
-        if (rec) rec->resumed = true;
+        if (!rec) return;
+        rec->resumed = true;
+        record_wait_edge(*ch->engine_, *rec, ch->trace_name_);
       }
     };
     // Under multiple consumers a wakeup can race with another consumer; loop.
@@ -208,12 +221,13 @@ class Channel {
       waiters_.pop_front();
       if (!rec->alive) continue;
       rec->granted = true;
-      engine_->schedule_after(0, rec->handle, alive_guard(rec));
+      wake_waiter(*engine_, rec);
       return;
     }
   }
 
   Engine* engine_;
+  const char* trace_name_;
   std::deque<T> items_;
   std::deque<std::shared_ptr<WaitRecord>> waiters_;
 };

@@ -3,12 +3,14 @@
 #include <cassert>
 
 #include "obs/recorder.hpp"
+#include "sim/causal.hpp"
 
 namespace vmstorm::storage {
 
 Disk::Disk(sim::Engine& engine, DiskConfig cfg)
     : engine_(&engine), cfg_(cfg),
       platter_(engine, cfg.rate, cfg.seek_overhead) {
+  platter_.set_trace("disk", 0);
   if (obs::Recorder* rec = engine.recorder()) {
     obs_cache_hits_ = &rec->metrics.counter("disk.cache_hits");
     obs_cache_misses_ = &rec->metrics.counter("disk.cache_misses");
@@ -66,13 +68,14 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
              disk->dirty_bytes_ + need <= disk->cfg_.dirty_limit;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      auto r = std::make_shared<sim::WaitRecord>();
-      r->handle = h;
+      auto r = sim::make_wait_record(*disk->engine_, h);
       rec = r;
       disk->dirty_waiters_.push_back({need, std::move(r)});
     }
     void await_resume() noexcept {
-      if (rec) rec->resumed = true;
+      if (!rec) return;
+      rec->resumed = true;
+      sim::record_wait_edge(*disk->engine_, *rec, "disk.dirty");
     }
   };
   while (dirty_bytes_ != 0 && dirty_bytes_ + bytes > cfg_.dirty_limit) {
@@ -85,6 +88,11 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
 }
 
 sim::Task<void> Disk::flusher(Bytes bytes) {
+  // Background write-back runs outside any instance's span: the platter
+  // time it burns is not on the writer's critical path (the write already
+  // completed at admission). Contention it causes still shows up as queue
+  // wait on whoever it delays.
+  engine_->set_current_span(0);
   record_queue_wait();
   co_await platter_.serve(bytes);
   assert(dirty_bytes_ >= bytes);
@@ -93,9 +101,7 @@ sim::Task<void> Disk::flusher(Bytes bytes) {
   wake_dirty_waiters();
   if (flushes_in_flight_ == 0) {
     for (auto& rec : flush_waiters_) {
-      if (rec->alive) {
-        engine_->schedule_after(0, rec->handle, sim::alive_guard(rec));
-      }
+      if (rec->alive) sim::wake_waiter(*engine_, rec);
     }
     flush_waiters_.clear();
   }
@@ -110,7 +116,7 @@ void Disk::wake_dirty_waiters() {
       continue;
     }
     if (dirty_bytes_ != 0 && dirty_bytes_ + w.need > cfg_.dirty_limit) break;
-    engine_->schedule_after(0, w.rec->handle, sim::alive_guard(w.rec));
+    sim::wake_waiter(*engine_, w.rec);
     dirty_waiters_.pop_front();
   }
 }
@@ -127,12 +133,13 @@ sim::Task<void> Disk::flush() {
     }
     bool await_ready() const { return disk->flushes_in_flight_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
-      rec = std::make_shared<sim::WaitRecord>();
-      rec->handle = h;
+      rec = sim::make_wait_record(*disk->engine_, h);
       disk->flush_waiters_.push_back(rec);
     }
     void await_resume() noexcept {
-      if (rec) rec->resumed = true;
+      if (!rec) return;
+      rec->resumed = true;
+      sim::record_wait_edge(*disk->engine_, *rec, "disk.flush");
     }
   };
   while (flushes_in_flight_ != 0) co_await FlushAwaiter{this};

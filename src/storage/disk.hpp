@@ -71,6 +71,10 @@ class Disk {
   /// Waits until all pending write-back data is on platter.
   sim::Task<void> flush();
 
+  /// Trace lane for this disk's platter events (node index). The platter
+  /// traces as "disk" on lane 0 until relabeled.
+  void set_trace_lane(std::uint32_t lane) { platter_.set_trace("disk", lane); }
+
   bool cached(std::uint64_t key) const { return cache_map_.count(key) > 0; }
   Bytes dirty_bytes() const { return dirty_bytes_; }
   Bytes bytes_read_platter() const { return platter_.bytes_served(); }

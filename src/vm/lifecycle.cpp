@@ -1,5 +1,7 @@
 #include "vm/lifecycle.hpp"
 
+#include "sim/causal.hpp"
+
 namespace vmstorm::vm {
 
 sim::Task<void> run_boot(sim::Engine& engine, VmDisk& disk,
@@ -7,6 +9,15 @@ sim::Task<void> run_boot(sim::Engine& engine, VmDisk& disk,
                          BootResult* result) {
   co_await engine.sleep_seconds(rng.exponential(params.start_skew_seconds));
   result->started = engine.now_seconds();
+  // Root span for this instance: the critical-path analyzer attributes
+  // everything inside [started, finished] against it.
+  obs::Tracer* tr = sim::live_tracer(engine);
+  const std::uint64_t parent = engine.current_span();
+  std::uint64_t span = 0;
+  if (tr) {
+    span = tr->new_span();
+    engine.set_current_span(span);
+  }
   for (const BootOp& op : trace.ops()) {
     switch (op.kind) {
       case BootOp::Kind::kRead:
@@ -25,6 +36,12 @@ sim::Task<void> run_boot(sim::Engine& engine, VmDisk& disk,
     }
   }
   result->finished = engine.now_seconds();
+  if (tr) {
+    tr->complete_span(result->started, result->finished - result->started,
+                      params.trace_lane, "vm", params.trace_kind, span, parent,
+                      {obs::TraceArg::uint("instance", params.trace_instance)});
+    engine.set_current_span(parent);
+  }
 }
 
 }  // namespace vmstorm::vm

@@ -3,6 +3,8 @@
 // together skew by ~100 ms and drift apart as boot progresses).
 #pragma once
 
+#include <cstdint>
+
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "vm/boot_trace.hpp"
@@ -16,6 +18,12 @@ struct BootParams {
   /// Per-instance multiplicative CPU jitter half-width: each CPU burst is
   /// scaled by U(1-j, 1+j).
   double cpu_jitter = 0.2;
+  /// Trace identity for the root span this boot emits (cat "vm"): lane is
+  /// the hosting node, instance the logical VM index, kind "boot" or
+  /// "resume". The span covers [started, finished] — skew excluded.
+  std::uint32_t trace_lane = 0;
+  std::uint64_t trace_instance = 0;
+  const char* trace_kind = "boot";
 };
 
 struct BootResult {

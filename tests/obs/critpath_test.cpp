@@ -1,0 +1,274 @@
+// Critical-path analyzer tests: an exact hand-built span DAG (known
+// critical path, known bucket totals), classification corner cases, and an
+// end-to-end contention scenario — two VMs fetching the same image range
+// from a single-provider repository — asserting bucket-sum closure,
+// same-seed byte-identical attribution JSON, and that the JSONL round trip
+// (what `vmstormctl critpath` consumes) reproduces the in-process analysis.
+#include "obs/critpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "blob/sim_cluster.hpp"
+#include "blob/store.hpp"
+#include "common/units.hpp"
+#include "mirror/sim_disk.hpp"
+#include "net/network.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "sim/causal.hpp"
+#include "sim/engine.hpp"
+#include "storage/disk.hpp"
+
+namespace vmstorm {
+namespace {
+
+double bucket_of(const obs::CritRow& row, obs::CritBucket b) {
+  return row.buckets[static_cast<std::size_t>(b)];
+}
+
+double bucket_sum(const obs::CritRow& row) {
+  return std::accumulate(row.buckets.begin(), row.buckets.end(), 0.0);
+}
+
+TEST(Critpath, ExactHandBuiltPath) {
+  // Root boot span [0, 10):
+  //   [0, 4)  NIC service           -> net_transfer
+  //   [4, 7)  disk queue wait       -> queue_wait (outranks the overlapping
+  //                                    service below in [6, 7))
+  //   [6, 9)  disk service under a repo-hinted child span -> repo_disk in
+  //                                    the uncontested [7, 9)
+  //   [9, 10) uncovered             -> boot_init filler
+  obs::Tracer t;
+  t.set_enabled(true);
+  const obs::SpanId root = t.new_span();
+  const obs::SpanId child = t.new_span();
+  t.complete_in(0.0, 4.0, 0, "svc", "net.tx", root);
+  t.complete_in(4.0, 3.0, 0, "wait", "disk", root,
+                {obs::TraceArg::uint("holder", 42)});
+  t.complete_in(6.0, 3.0, 0, "svc", "disk", child);
+  t.complete_span(6.0, 3.0, 0, "blob", "fetch", child, root,
+                  {obs::TraceArg::str("bucket", "repo")});
+  t.complete_span(0.0, 10.0, 0, "vm", "boot", root, 0,
+                  {obs::TraceArg::uint("instance", 7)});
+
+  const obs::CritReport report = obs::analyze_critical_paths(t.events());
+  ASSERT_EQ(report.rows.size(), 1u);
+  const obs::CritRow& row = report.rows[0];
+  EXPECT_EQ(row.kind, "boot");
+  EXPECT_EQ(row.instance, 7u);
+  EXPECT_EQ(row.span, root);
+  EXPECT_DOUBLE_EQ(row.seconds, 10.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kNetTransfer), 4.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kQueueWait), 3.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kRepoDisk), 2.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kBootInit), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_sum(row), row.seconds);
+
+  // The exact critical path, in order, with the wait's holder preserved.
+  ASSERT_EQ(row.segments.size(), 4u);
+  EXPECT_EQ(row.segments[0].name, "net.tx");
+  EXPECT_EQ(row.segments[0].bucket, obs::CritBucket::kNetTransfer);
+  EXPECT_DOUBLE_EQ(row.segments[0].seconds, 4.0);
+  EXPECT_EQ(row.segments[1].name, "disk");
+  EXPECT_EQ(row.segments[1].bucket, obs::CritBucket::kQueueWait);
+  EXPECT_DOUBLE_EQ(row.segments[1].seconds, 3.0);
+  EXPECT_EQ(row.segments[1].holder, 42u);
+  EXPECT_EQ(row.segments[2].name, "disk");
+  EXPECT_EQ(row.segments[2].bucket, obs::CritBucket::kRepoDisk);
+  EXPECT_DOUBLE_EQ(row.segments[2].seconds, 2.0);
+  EXPECT_EQ(row.segments[3].bucket, obs::CritBucket::kBootInit);
+  EXPECT_DOUBLE_EQ(row.segments[3].seconds, 1.0);
+}
+
+TEST(Critpath, SnapshotRootFillsUncoveredAsCompute) {
+  obs::Tracer t;
+  t.set_enabled(true);
+  const obs::SpanId root = t.new_span();
+  t.complete_in(0.0, 1.0, 5, "svc", "disk", root);
+  t.complete_span(0.0, 2.0, 5, "cloud", "snapshot", root, 0,
+                  {obs::TraceArg::uint("instance", 3)});
+  const obs::CritReport report = obs::analyze_critical_paths(t.events());
+  ASSERT_EQ(report.rows.size(), 1u);
+  const obs::CritRow& row = report.rows[0];
+  EXPECT_EQ(row.kind, "snapshot");
+  EXPECT_EQ(row.instance, 3u);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kLocalDisk), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kCompute), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kBootInit), 0.0);
+}
+
+TEST(Critpath, MetadataHintBeatsNetPrefix) {
+  // A NIC service interval under a metadata-hinted RPC span is metadata
+  // time: the hint says what the wire time was *for*.
+  obs::Tracer t;
+  t.set_enabled(true);
+  const obs::SpanId root = t.new_span();
+  const obs::SpanId rpc = t.new_span();
+  t.complete_in(0.0, 2.0, 0, "svc", "net.tx", rpc);
+  t.complete_span(0.0, 2.0, 0, "net", "rpc", rpc, root,
+                  {obs::TraceArg::str("bucket", "metadata")});
+  t.complete_span(0.0, 5.0, 0, "vm", "boot", root, 0,
+                  {obs::TraceArg::uint("instance", 0)});
+  const obs::CritReport report = obs::analyze_critical_paths(t.events());
+  ASSERT_EQ(report.rows.size(), 1u);
+  const obs::CritRow& row = report.rows[0];
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kMetadata), 2.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kNetTransfer), 0.0);
+  EXPECT_DOUBLE_EQ(bucket_of(row, obs::CritBucket::kBootInit), 3.0);
+}
+
+TEST(Critpath, BackgroundWorkOutsideAnySpanIsIgnored) {
+  obs::Tracer t;
+  t.set_enabled(true);
+  const obs::SpanId root = t.new_span();
+  t.complete_in(0.0, 1.0, 0, "svc", "disk", root);
+  // span 0 = detached background work (e.g. the write-back flusher).
+  t.complete(0.0, 5.0, 0, "svc", "disk");
+  t.complete_span(0.0, 2.0, 0, "vm", "boot", root, 0);
+  const obs::CritReport report = obs::analyze_critical_paths(t.events());
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(bucket_of(report.rows[0], obs::CritBucket::kLocalDisk), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_sum(report.rows[0]), 2.0);
+}
+
+// --- end-to-end contention scenario ---------------------------------------
+
+sim::Task<void> traced_boot(sim::Engine* engine, mirror::SimVirtualDisk* disk,
+                            std::uint64_t instance, std::uint32_t lane) {
+  obs::Tracer* tr = sim::live_tracer(*engine);
+  const std::uint64_t parent = engine->current_span();
+  std::uint64_t span = 0;
+  if (tr) {
+    span = tr->new_span();
+    engine->set_current_span(span);
+  }
+  const double start = engine->now_seconds();
+  co_await disk->read(0, 512_KiB);
+  if (tr) {
+    tr->complete_span(start, engine->now_seconds() - start, lane, "vm", "boot",
+                      span, parent,
+                      {obs::TraceArg::uint("instance", instance)});
+    engine->set_current_span(parent);
+  }
+}
+
+struct ScenarioOut {
+  obs::CritReport report;
+  std::string attribution;
+  std::string jsonl;
+  std::uint64_t pairing_errors = 0;
+};
+
+// Two VMs on nodes 2 and 3 concurrently fetch the same 512 KiB from a
+// repository with a single provider (node 0): the provider's disk and NIC
+// serialize the fetches, so one VM's critical path shows queue wait held by
+// the other's spans.
+ScenarioOut run_contention_scenario() {
+  sim::Engine engine;
+  obs::Recorder rec;
+  engine.set_recorder(&rec);
+  rec.trace.set_enabled(true);
+
+  net::Network network(engine, 4);
+  storage::Disk provider_disk(engine);
+  provider_disk.set_trace_lane(0);
+  storage::Disk local_a(engine);
+  storage::Disk local_b(engine);
+  local_a.set_trace_lane(2);
+  local_b.set_trace_lane(3);
+
+  blob::StoreConfig sc;
+  sc.providers = 1;
+  blob::BlobStore store(sc);
+  blob::SimCluster cluster(engine, network, store,
+                           std::vector<net::NodeId>{0},
+                           std::vector<storage::Disk*>{&provider_disk},
+                           /*manager_node=*/1);
+  auto blob_id = store.create(2_MiB, 256_KiB);
+  EXPECT_TRUE(blob_id.is_ok());
+  auto version = store.write_pattern(*blob_id, 0, 0, 2_MiB, 77);
+  EXPECT_TRUE(version.is_ok());
+
+  mirror::MirrorConfig mc;
+  mc.image_size = 2_MiB;
+  mc.chunk_size = 256_KiB;
+  mirror::SimVirtualDisk vm_a(cluster, 2, local_a, *blob_id, *version, mc, 1);
+  mirror::SimVirtualDisk vm_b(cluster, 3, local_b, *blob_id, *version, mc, 2);
+
+  engine.spawn(traced_boot(&engine, &vm_a, 0, 2));
+  engine.spawn(traced_boot(&engine, &vm_b, 1, 3));
+  engine.run();
+
+  ScenarioOut out;
+  out.report = obs::analyze_critical_paths(rec.trace.events());
+  out.attribution = obs::attribution_json(out.report);
+  out.jsonl = rec.trace.jsonl();
+  out.pairing_errors = rec.trace.pairing_errors();
+  return out;
+}
+
+TEST(Critpath, TwoVmsContendingOnOneProviderDisk) {
+  const ScenarioOut out = run_contention_scenario();
+  ASSERT_EQ(out.report.rows.size(), 2u);
+  double total_wait = 0;
+  for (const obs::CritRow& row : out.report.rows) {
+    EXPECT_EQ(row.kind, "boot");
+    EXPECT_GT(row.seconds, 0.0);
+    EXPECT_NEAR(bucket_sum(row), row.seconds, 1e-9);
+    // Remote fetch work must show up: repo-hinted disk time, wire time,
+    // and the locate RPC's metadata time.
+    EXPECT_GT(bucket_of(row, obs::CritBucket::kNetTransfer), 0.0);
+    EXPECT_GT(bucket_of(row, obs::CritBucket::kMetadata), 0.0);
+    total_wait += bucket_of(row, obs::CritBucket::kQueueWait);
+  }
+  EXPECT_GT(out.report.rows[0].buckets[static_cast<std::size_t>(
+                obs::CritBucket::kRepoDisk)] +
+                out.report.rows[1].buckets[static_cast<std::size_t>(
+                    obs::CritBucket::kRepoDisk)],
+            0.0);
+  // A single provider serializes the two fetch streams: somebody waited.
+  EXPECT_GT(total_wait, 0.0);
+  EXPECT_EQ(out.pairing_errors, 0u);
+}
+
+TEST(Critpath, SameSeedByteIdenticalAttribution) {
+  const ScenarioOut a = run_contention_scenario();
+  const ScenarioOut b = run_contention_scenario();
+  EXPECT_FALSE(a.attribution.empty());
+  EXPECT_EQ(a.attribution, b.attribution);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+}
+
+TEST(Critpath, JsonlRoundTripMatchesInProcessAnalysis) {
+  const ScenarioOut out = run_contention_scenario();
+  auto parsed = obs::parse_trace_jsonl(out.jsonl);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_FALSE(parsed->empty());
+  const obs::CritReport reparsed = obs::analyze_critical_paths(*parsed);
+  EXPECT_EQ(reparsed.rows.size(), out.report.rows.size());
+  EXPECT_EQ(obs::attribution_json(reparsed), out.attribution);
+}
+
+TEST(Critpath, AttributionTableRendersAllBuckets) {
+  const ScenarioOut out = run_contention_scenario();
+  const std::string table = obs::attribution_table(out.report);
+  for (std::size_t b = 0; b < obs::kCritBucketCount; ++b) {
+    EXPECT_NE(table.find(obs::crit_bucket_name(
+                  static_cast<obs::CritBucket>(b))),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find("boot"), std::string::npos);
+}
+
+TEST(Critpath, EmptyTraceYieldsEmptyReport) {
+  const obs::CritReport report = obs::analyze_critical_paths({});
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_NE(obs::attribution_table(report).find("no root spans"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmstorm

@@ -5,9 +5,11 @@
 // invariant).
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <string>
 
 #include "cloud/cloud.hpp"
+#include "obs/critpath.hpp"
 
 namespace vmstorm::cloud {
 namespace {
@@ -36,6 +38,9 @@ struct RunOutput {
   std::string metrics;
   std::string trace;
   std::string jsonl;
+  std::string attribution;
+  obs::CritReport crit;
+  std::uint64_t pairing_errors = 0;
 };
 
 RunOutput deploy_and_snapshot(Strategy strategy) {
@@ -48,6 +53,9 @@ RunOutput deploy_and_snapshot(Strategy strategy) {
   out.metrics = cloud.metrics_json();
   out.trace = cloud.trace_chrome_json();
   out.jsonl = cloud.trace_jsonl();
+  out.crit = obs::analyze_critical_paths(cloud.obs().trace.events());
+  out.attribution = obs::attribution_json(out.crit);
+  out.pairing_errors = cloud.obs().trace.pairing_errors();
   return out;
 }
 
@@ -57,8 +65,38 @@ TEST(ObsDeterminism, SameSeedSameBytes) {
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.attribution, b.attribution);
   EXPECT_FALSE(a.metrics.empty());
+  EXPECT_FALSE(a.attribution.empty());
   EXPECT_NE(a.trace.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ObsDeterminism, AttributionCoversEveryInstanceAndSumsToTotals) {
+  const RunOutput out = deploy_and_snapshot(Strategy::kOurs);
+  EXPECT_EQ(out.pairing_errors, 0u);
+  // 4 boot rows from multideploy + 4 snapshot rows from multisnapshot.
+  std::size_t boots = 0;
+  std::size_t snapshots = 0;
+  for (const obs::CritRow& row : out.crit.rows) {
+    if (row.kind == "boot") ++boots;
+    if (row.kind == "snapshot") ++snapshots;
+    const double sum =
+        std::accumulate(row.buckets.begin(), row.buckets.end(), 0.0);
+    EXPECT_NEAR(sum, row.seconds, 1e-6) << row.kind << " #" << row.instance;
+    EXPECT_GT(row.seconds, 0.0);
+  }
+  EXPECT_EQ(boots, 4u);
+  EXPECT_EQ(snapshots, 4u);
+  // The deployment physics must be visible: some network transfer time and
+  // some repository disk time on at least one boot's critical path.
+  double net = 0;
+  double repo = 0;
+  for (const obs::CritRow& row : out.crit.rows) {
+    net += row.buckets[static_cast<std::size_t>(obs::CritBucket::kNetTransfer)];
+    repo += row.buckets[static_cast<std::size_t>(obs::CritBucket::kRepoDisk)];
+  }
+  EXPECT_GT(net, 0.0);
+  EXPECT_GT(repo, 0.0);
 }
 
 TEST(ObsDeterminism, DifferentSeedDifferentMetrics) {

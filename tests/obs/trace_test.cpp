@@ -73,8 +73,61 @@ TEST(Tracer, ClearResets) {
   Tracer t;
   t.set_enabled(true);
   t.instant(1.0, 0, "c", "x");
+  t.begin(2.0, 0, "c", "y");
+  t.end(5.0, 1, "c", "z");  // unmatched: lane 1 never began
+  EXPECT_EQ(t.open_begins(), 1u);
+  EXPECT_EQ(t.pairing_errors(), 1u);
   t.clear();
   EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.open_begins(), 0u);
+  EXPECT_EQ(t.pairing_errors(), 0u);
+}
+
+TEST(Tracer, UnmatchedEndIsCountedAndDropped) {
+  Tracer t;
+  t.set_enabled(true);
+  t.end(1.0, 0, "vm", "boot");
+  EXPECT_EQ(t.size(), 0u);  // the stray 'E' never reaches the trace
+  EXPECT_EQ(t.pairing_errors(), 1u);
+  // A proper pair on the same lane still works afterwards.
+  t.begin(2.0, 0, "vm", "boot");
+  t.end(3.0, 0, "vm", "boot");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.pairing_errors(), 1u);
+  EXPECT_EQ(t.open_begins(), 0u);
+}
+
+TEST(Tracer, OpenBeginsTrackedPerLane) {
+  Tracer t;
+  t.set_enabled(true);
+  t.begin(1.0, 0, "a", "x");
+  t.begin(2.0, 0, "a", "y");  // nested on lane 0
+  t.begin(3.0, 7, "b", "z");
+  EXPECT_EQ(t.open_begins(), 3u);
+  t.end(4.0, 0, "a", "y");
+  EXPECT_EQ(t.open_begins(), 2u);
+  t.end(5.0, 0, "a", "x");
+  t.end(6.0, 7, "b", "z");
+  EXPECT_EQ(t.open_begins(), 0u);
+  EXPECT_EQ(t.pairing_errors(), 0u);
+}
+
+TEST(Tracer, FlowEventsCarrySharedId) {
+  Tracer t;
+  t.set_enabled(true);
+  const SpanId id = t.flow_begin(1.0, 0, "wake");
+  EXPECT_NE(id, 0u);
+  t.flow_end(2.0, 3, "wake", id);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].phase, 's');
+  EXPECT_EQ(t.events()[1].phase, 'f');
+  EXPECT_EQ(t.events()[0].id, id);
+  EXPECT_EQ(t.events()[1].id, id);
+  // Chrome requires binding point "enclosing" on the flow-finish side.
+  const std::string j = t.chrome_json();
+  EXPECT_NE(j.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
 }
 
 }  // namespace

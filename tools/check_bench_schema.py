@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json artifacts against the vmstorm-bench-v1 schema.
+"""Validate BENCH_*.json artifacts against the vmstorm-bench schema.
 
 Usage:  check_bench_schema.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Accepts both vmstorm-bench-v1 and vmstorm-bench-v2 artifacts. v2 adds the
+"attribution" key (critical-path analysis; null when tracing was off):
+each row's bucket values must come from the closed bucket enum and sum to
+the row's total seconds within 1e-6.
 
 Directories are scanned for BENCH_*.json. Exits non-zero and prints one
 line per violation if any artifact is malformed. Pure stdlib — no
@@ -11,7 +16,12 @@ import json
 import pathlib
 import sys
 
-SCHEMA = "vmstorm-bench-v1"
+SCHEMAS = ("vmstorm-bench-v1", "vmstorm-bench-v2")
+
+# Closed enum: the analyzer's CritBucket names, in emission order.
+BUCKETS = ("boot_init", "compute", "local_disk", "metadata",
+           "net_transfer", "queue_wait", "repo_disk")
+SUM_TOLERANCE = 1e-6
 
 
 def fail(path, errors, msg):
@@ -47,11 +57,55 @@ def check_metrics(path, errors, metrics):
             fail(path, errors, f"histogram '{key}' missing count")
 
 
+def check_attribution(path, errors, attr):
+    if attr is None:
+        return  # tracing was off for this artifact's capture run
+    if not isinstance(attr, dict):
+        return fail(path, errors, "attribution must be an object or null")
+    if tuple(attr.get("buckets", ())) != BUCKETS:
+        fail(path, errors, f"attribution.buckets must be {list(BUCKETS)}")
+    rows = attr.get("rows")
+    if not isinstance(rows, list):
+        return fail(path, errors, "attribution.rows must be an array")
+    for ri, row in enumerate(rows):
+        where = f"attribution.rows[{ri}]"
+        if not isinstance(row, dict):
+            fail(path, errors, f"{where} is not an object")
+            continue
+        for key in ("kind", "instance", "lane", "span", "start", "seconds"):
+            if key not in row:
+                fail(path, errors, f"{where} missing '{key}'")
+        buckets = row.get("attribution")
+        if not isinstance(buckets, dict):
+            fail(path, errors, f"{where}.attribution must be an object")
+            continue
+        extra = set(buckets) - set(BUCKETS)
+        if extra:
+            fail(path, errors,
+                 f"{where}: unknown bucket(s) {sorted(extra)} "
+                 f"(closed enum: {list(BUCKETS)})")
+        missing = set(BUCKETS) - set(buckets)
+        if missing:
+            fail(path, errors, f"{where}: missing bucket(s) {sorted(missing)}")
+        total = sum(v for v in buckets.values()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool))
+        seconds = row.get("seconds")
+        if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+            if abs(total - seconds) > SUM_TOLERANCE:
+                fail(path, errors,
+                     f"{where}: buckets sum to {total!r}, "
+                     f"row seconds is {seconds!r} (tolerance {SUM_TOLERANCE})")
+    summary = attr.get("summary")
+    if not isinstance(summary, dict):
+        fail(path, errors, "attribution.summary must be an object")
+
+
 def check_report(path, errors, doc):
     if not isinstance(doc, dict):
         return fail(path, errors, "top level is not an object")
-    if doc.get("schema") != SCHEMA:
-        fail(path, errors, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        fail(path, errors, f"schema is {schema!r}, want one of {SCHEMAS!r}")
     for key in ("name", "figure", "title"):
         if not isinstance(doc.get(key), str) or not doc.get(key):
             fail(path, errors, f"'{key}' must be a non-empty string")
@@ -99,6 +153,13 @@ def check_report(path, errors, doc):
         fail(path, errors, "'metrics' key missing (may be null, not absent)")
     else:
         check_metrics(path, errors, doc["metrics"])
+
+    if schema == "vmstorm-bench-v2":
+        if "attribution" not in doc:
+            fail(path, errors,
+                 "'attribution' key missing (may be null, not absent)")
+        else:
+            check_attribution(path, errors, doc["attribution"])
 
 
 def collect(args):
