@@ -1,0 +1,132 @@
+// Runtime invariant auditing for the simulator.
+//
+// vmlint proves what it can statically (no discarded Tasks, no unguarded
+// waiter schedules); the Auditor checks what only a running simulation can
+// show: that every wakeup delivered to a coroutine finds its waiter alive,
+// that every dropped wakeup really had a dead waiter behind it, and that
+// simulated time never moves backwards. The engine and the wake paths in
+// sim/causal.hpp call these hooks; with no auditor attached (the default)
+// every hook site is a null-pointer check, so production simulations pay
+// one branch per event.
+//
+// The fuzz harness (tests/fuzz/) attaches an InvariantAuditor while driving
+// randomized spawn/cancel/wakeup interleavings; shrunk failures become
+// regression tests in tests/sim/fuzz_regressions_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vmstorm::sim {
+
+/// Thrown by InvariantAuditor in fail-fast mode. Dead-waiter resumption is
+/// detected *before* the engine resumes the handle, so failing fast here
+/// turns a use-after-free into a clean, catchable failure the shrinker can
+/// replay deterministically.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Observer interface over the engine's wakeup lifecycle. Attach with
+/// Engine::set_auditor before running; all hooks default to no-ops.
+class Auditor {
+ public:
+  virtual ~Auditor() = default;
+
+  /// A WaitRecord-guarded wakeup was enqueued as event `seq`
+  /// (sim/causal.hpp wake_waiter, Engine sleep suspension).
+  virtual void on_wakeup_scheduled(std::uint64_t seq,
+                                   std::shared_ptr<const WaitRecord> rec) {
+    (void)seq;
+    (void)rec;
+  }
+
+  /// Event `seq` reached the head of the queue at simulated time `time`.
+  /// `dropped` is true when the engine discarded it because its liveness
+  /// guard read false; otherwise the handle is resumed right after this
+  /// hook returns.
+  virtual void on_event(std::uint64_t seq, SimTime time, bool dropped) {
+    (void)seq;
+    (void)time;
+    (void)dropped;
+  }
+};
+
+/// The runtime invariant oracles the fuzz harness checks on every program:
+///
+///   dead-waiter-resumption  an event about to be resumed maps to a
+///                           WaitRecord whose waiter was destroyed — the
+///                           exact bug the alive_guard machinery exists to
+///                           prevent (e.g. a guard dropped from a wake path);
+///   live-waiter-drop        the engine dropped a wakeup whose record still
+///                           reads alive (a lost wakeup);
+///   monotone-time           event dispatch times never decrease.
+///
+/// dropped_wakeups() counts guarded drops seen through the hooks; at
+/// quiescence it must equal Engine::cancelled_wakeups(), and
+/// pending_wakeups() must be zero (every scheduled wakeup was dispatched).
+class InvariantAuditor final : public Auditor {
+ public:
+  /// Throw InvariantViolation at the detection site (default). The harness
+  /// relies on this for dead-waiter resumption: the throw unwinds out of
+  /// Engine::run before the dead frame would be resumed.
+  bool fail_fast = true;
+
+  void on_wakeup_scheduled(std::uint64_t seq,
+                           std::shared_ptr<const WaitRecord> rec) override {
+    pending_.emplace(seq, std::move(rec));
+  }
+
+  void on_event(std::uint64_t seq, SimTime time, bool dropped) override {
+    ++events_seen_;
+    if (time < last_time_) {
+      fail("monotone-time: event seq " + std::to_string(seq) + " at " +
+           std::to_string(time) + "ns after " + std::to_string(last_time_) +
+           "ns");
+    }
+    last_time_ = time;
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // plain event, no wait record to audit
+    std::shared_ptr<const WaitRecord> rec = std::move(it->second);
+    pending_.erase(it);
+    if (dropped) {
+      ++dropped_wakeups_;
+      if (rec->alive) {
+        fail("live-waiter-drop: wakeup seq " + std::to_string(seq) +
+             " dropped but its waiter is alive");
+      }
+    } else if (!rec->alive) {
+      fail("dead-waiter-resumption: wakeup seq " + std::to_string(seq) +
+           " about to resume a destroyed waiter");
+    }
+  }
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t dropped_wakeups() const { return dropped_wakeups_; }
+  std::size_t pending_wakeups() const { return pending_.size(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  void fail(std::string msg) {
+    violations_.push_back(std::move(msg));
+    if (fail_fast) throw InvariantViolation(violations_.back());
+  }
+
+  std::map<std::uint64_t, std::shared_ptr<const WaitRecord>> pending_;
+  SimTime last_time_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t dropped_wakeups_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace vmstorm::sim

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "obs/recorder.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 
 namespace vmstorm::sim {
@@ -49,7 +50,9 @@ inline void wake_waiter(Engine& engine, const std::shared_ptr<WaitRecord>& rec) 
       rec->flow = tr->flow_begin(engine.now_seconds(), 0, "wake");
     }
   }
-  engine.schedule_after(0, rec->handle, alive_guard(rec), rec->span);
+  const std::uint64_t seq =
+      engine.schedule_after(0, rec->handle, alive_guard(rec), rec->span);
+  if (Auditor* a = engine.auditor()) a->on_wakeup_scheduled(seq, rec);
 }
 
 /// Records the wait edge for a waiter that just resumed: the blocked

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "sim/audit.hpp"
 #include "sim/causal.hpp"
 
 namespace vmstorm::sim {
@@ -72,12 +73,24 @@ Task<void> JoinHandle::join(Engine& engine) {
   if (state_->exception) std::rethrow_exception(state_->exception);
 }
 
-void Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
-                         std::shared_ptr<const bool> alive,
-                         std::uint64_t span) {
+std::uint64_t Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
+                                  std::shared_ptr<const bool> alive,
+                                  std::uint64_t span) {
   assert(t >= now_ && "cannot schedule in the past");
   if (span == kInheritSpan) span = current_span_;
-  queue_.push(Event{t, next_seq_++, h, std::move(alive), span});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, h, std::move(alive), span});
+  return seq;
+}
+
+void Engine::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  rec = std::make_shared<WaitRecord>();
+  rec->handle = h;
+  rec->span = engine->current_span();
+  rec->wait_since = engine->now_seconds();
+  const std::uint64_t seq =
+      engine->schedule_at(wake_at, h, alive_guard(rec));
+  if (Auditor* a = engine->auditor()) a->on_wakeup_scheduled(seq, rec);
 }
 
 JoinHandle Engine::spawn(Task<void> task) {
@@ -114,9 +127,11 @@ std::uint64_t Engine::run(SimTime until) {
       // simulated time past it (time still moves to ev.time for ordering).
       now_ = ev.time;
       ++cancelled_wakeups_;
+      if (auditor_) auditor_->on_event(ev.seq, ev.time, /*dropped=*/true);
       continue;
     }
     now_ = ev.time;
+    if (auditor_) auditor_->on_event(ev.seq, ev.time, /*dropped=*/false);
     current_span_ = ev.span;
     ++n;
     ++events_processed_;

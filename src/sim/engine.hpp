@@ -26,6 +26,7 @@ struct Recorder;
 
 namespace vmstorm::sim {
 
+class Auditor;
 class Engine;
 
 /// Liveness record for a suspended waiter. Waiter lists (Event, Semaphore,
@@ -106,14 +107,16 @@ class Engine {
   /// wakeup was in flight). Wakeups for suspended waiters held in shared
   /// lists must pass a guard — see WaitRecord / alive_guard. `span` is the
   /// span context restored when the event fires; the default inherits the
-  /// span current at schedule time.
-  void schedule_at(SimTime t, std::coroutine_handle<> h,
-                   std::shared_ptr<const bool> alive = {},
-                   std::uint64_t span = kInheritSpan);
-  void schedule_after(SimTime dt, std::coroutine_handle<> h,
-                      std::shared_ptr<const bool> alive = {},
-                      std::uint64_t span = kInheritSpan) {
-    schedule_at(now_ + dt, h, std::move(alive), span);
+  /// span current at schedule time. Returns the queued event's sequence
+  /// number (unique per engine), which audit hooks use to tie a scheduled
+  /// wakeup to its dispatch.
+  std::uint64_t schedule_at(SimTime t, std::coroutine_handle<> h,
+                            std::shared_ptr<const bool> alive = {},
+                            std::uint64_t span = kInheritSpan);
+  std::uint64_t schedule_after(SimTime dt, std::coroutine_handle<> h,
+                               std::shared_ptr<const bool> alive = {},
+                               std::uint64_t span = kInheritSpan) {
+    return schedule_at(now_ + dt, h, std::move(alive), span);
   }
 
   /// Awaitable: suspends the current process for dt simulated time.
@@ -146,15 +149,31 @@ class Engine {
   obs::Recorder* recorder() const { return recorder_; }
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Runtime invariant auditing attachment point (sim/audit.hpp). Like the
+  /// recorder, the engine only carries the pointer; null disables auditing.
+  Auditor* auditor() const { return auditor_; }
+  void set_auditor(Auditor* auditor) { auditor_ = auditor; }
+
  private:
+  /// Awaiter for sleep()/sleep_until(). Holds a liveness-guarded WaitRecord
+  /// like every other blocking site: a coroutine destroyed mid-sleep marks
+  /// the record dead and the engine drops the queued wakeup instead of
+  /// resuming a freed frame (counted in cancelled_wakeups()).
   struct SleepAwaiter {
     Engine* engine;
     SimTime wake_at;
-    bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) const {
-      engine->schedule_at(wake_at, h);
+    std::shared_ptr<WaitRecord> rec{};
+    SleepAwaiter(Engine* e, SimTime t) : engine(e), wake_at(t) {}
+    SleepAwaiter(const SleepAwaiter&) = delete;
+    SleepAwaiter& operator=(const SleepAwaiter&) = delete;
+    ~SleepAwaiter() {
+      if (rec && !rec->resumed) rec->alive = false;
     }
-    void await_resume() const noexcept {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() noexcept {
+      if (rec) rec->resumed = true;
+    }
   };
 
   struct Event {
@@ -178,6 +197,7 @@ class Engine {
   std::uint64_t cancelled_wakeups_ = 0;
   std::size_t live_tasks_ = 0;
   obs::Recorder* recorder_ = nullptr;
+  Auditor* auditor_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

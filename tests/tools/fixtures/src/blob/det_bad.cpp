@@ -25,4 +25,9 @@ inline int ambient_random() {
   return rand() + static_cast<int>(rd());  // ambient-rand
 }
 
+inline unsigned raw_engine() {
+  std::mt19937 gen(42);  // std-random-engine
+  return gen();
+}
+
 }  // namespace fixture

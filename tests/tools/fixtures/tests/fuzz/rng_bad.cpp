@@ -1,0 +1,12 @@
+// Fixture: the std-random-engine ban applies outside src/ too — a fuzz or
+// test harness drawing from a raw <random> engine breaks seed replay.
+#include <random>
+
+namespace fixture {
+
+inline unsigned workload_choice() {
+  std::mt19937_64 gen(1234);  // std-random-engine-tests
+  return static_cast<unsigned>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: clean counterpart — randomness drawn through the sanctioned
+// seeded wrapper contributes no determinism findings.
+#include <cstdint>
+
+namespace fixture {
+
+struct SeededRng {  // stand-in for vmstorm::Rng in the fixture tree
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+inline std::uint64_t workload_choice(std::uint64_t seed) {
+  SeededRng rng{seed};
+  return rng.next();
+}
+
+}  // namespace fixture

@@ -128,14 +128,22 @@ def test_masked_lines():
 
 def test_determinism_rule():
     bad = "src/blob/det_bad.cpp"
+    tests_bad = "tests/fuzz/rng_bad.cpp"
     got = run_rule("determinism")
     want = {
         (bad, line_of(bad, "hash-order-iter"), "determinism"),
         (bad, line_of(bad, "// wall-clock"), "determinism"),
         (bad, line_of(bad, "random-device"), "determinism"),
         (bad, line_of(bad, "ambient-rand"), "determinism"),
+        (bad, line_of(bad, "// std-random-engine"),
+         "determinism/std-random-engine"),
+        # The engine ban is the one determinism check that reaches beyond
+        # src/: fuzz/test harness randomness must be replayable too.
+        (tests_bad, line_of(tests_bad, "std-random-engine-tests"),
+         "determinism/std-random-engine"),
     }
-    assert got == want, (got, want)  # det_good.cpp contributes nothing
+    # det_good.cpp and tests/fuzz/rng_good.cpp contribute nothing.
+    assert got == want, (got, want)
 
 
 def test_coro_capture_rule():

@@ -13,6 +13,16 @@ src/ (except common/rng.hpp, the one sanctioned randomness source):
                   snapshot manifests, RPC order) loses reproducibility.
                   Iterate a sorted copy, or use std::map/flat ordering.
 
+One check runs project-wide (every scan root, not just src/):
+
+  std-random-engine  direct construction of a <random> engine
+                     (std::mt19937 et al.). All randomness — including test
+                     and fuzz workload generation — must flow through the
+                     seeded vmstorm::Rng wrapper (src/common/rng.hpp), which
+                     is splitmix64-seeded, forkable per entity, and the only
+                     generator whose stream the fuzz decision logs and
+                     bit-replay artifacts are defined against.
+
 Deliberate wall-clock use (e.g. benchmarking a real in-memory filesystem)
 is annotated `// vmlint:allow(determinism) <reason>` at the use site.
 """
@@ -38,6 +48,15 @@ _BANNED_IDS = {
 }
 _UNORDERED = {"unordered_map", "unordered_set",
               "unordered_multimap", "unordered_multiset"}
+# <random> engine types whose direct construction bypasses vmstorm::Rng.
+_STD_ENGINES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b",
+    "ranlux24", "ranlux48", "ranlux24_base", "ranlux48_base",
+    "mersenne_twister_engine", "linear_congruential_engine",
+    "subtract_with_carry_engine", "discard_block_engine",
+    "independent_bits_engine", "shuffle_order_engine",
+}
 
 RE_UNORDERED_DECL = re.compile(
     r"\bunordered_(?:multi)?(?:map|set)\s*<")
@@ -46,7 +65,8 @@ RE_UNORDERED_DECL = re.compile(
 class DeterminismRule:
     name = "determinism"
     description = ("bans wall-clock time, ambient randomness, and "
-                   "unordered-container iteration in src/")
+                   "unordered-container iteration in src/; bans raw "
+                   "<random> engines project-wide")
 
     def prepare(self, project):
         self._project = project
@@ -90,9 +110,24 @@ class DeterminismRule:
         return names
 
     def visit(self, sf, tokens):
-        if not sf.in_dir("src") or sf.rel == "src/common/rng.hpp":
+        if sf.rel == "src/common/rng.hpp":
             return []
         findings = []
+
+        # Project-wide: raw <random> engines. Tests and fuzz harnesses are in
+        # scope — their reproducibility (seed -> identical decision log)
+        # depends on vmstorm::Rng just as much as the simulator's.
+        for t in tokens:
+            if t.kind == "id" and t.text in _STD_ENGINES:
+                findings.append(Finding(
+                    self.name, sf.rel, t.line,
+                    f"raw <random> engine std::{t.text}: construct a seeded "
+                    "vmstorm::Rng (common/rng.hpp) so streams are forkable "
+                    "and replayable from the decision log",
+                    subrule="std-random-engine"))
+
+        if not sf.in_dir("src"):
+            return findings
 
         def report(line, msg):
             findings.append(Finding(self.name, sf.rel, line, msg))
