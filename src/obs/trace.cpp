@@ -39,6 +39,8 @@ void Tracer::push(double ts, double dur, char phase, std::uint32_t lane,
   ev.cat = cat;
   ev.name = name;
   ev.args = std::move(args);
+  // vmlint:allow(hot-path-alloc) amortized event log growth; the ROADMAP
+  // ring-buffer tracer replaces this with a fixed-capacity ring.
   events_.push_back(std::move(ev));
 }
 

@@ -84,6 +84,8 @@ class InvariantAuditor final : public Auditor {
 
   void on_wakeup_scheduled(std::uint64_t seq,
                            std::shared_ptr<const WaitRecord> rec) override {
+    // vmlint:allow(hot-path-alloc) the auditor is installed only by fuzz and
+    // invariant tests, never on measured runs; bookkeeping cost is the point.
     pending_.emplace(seq, std::move(rec));
   }
 
@@ -118,6 +120,8 @@ class InvariantAuditor final : public Auditor {
 
  private:
   void fail(std::string msg) {
+    // vmlint:allow(hot-path-alloc) invariant-violation path: the run is
+    // already failing, allocation cost is irrelevant.
     violations_.push_back(std::move(msg));
     if (fail_fast) throw InvariantViolation(violations_.back());
   }

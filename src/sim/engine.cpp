@@ -60,6 +60,8 @@ Task<void> JoinHandle::join(Engine& engine) {
     bool await_ready() const noexcept { return state->done; }
     void await_suspend(std::coroutine_handle<> h) {
       rec = make_wait_record(*engine, h);
+      // vmlint:allow(hot-path-alloc) join waiter lists are short-lived and
+      // few; covered by the pooled-WaitRecord refactor, not worth a ring.
       state->waiters.push_back(rec);
     }
     void await_resume() noexcept {
@@ -79,11 +81,18 @@ std::uint64_t Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
   assert(t >= now_ && "cannot schedule in the past");
   if (span == kInheritSpan) span = current_span_;
   const std::uint64_t seq = next_seq_++;
+  // vmlint:allow(hot-path-alloc) binary-heap growth on the event spine; the
+  // ROADMAP calendar-queue refactor replaces this queue and its escape.
   queue_.push(Event{t, seq, h, std::move(alive), span});
   return seq;
 }
 
+// vmlint:allow(span-coverage) sleep is a modeled delay, not contention: the
+// sleeping span is doing its own (simulated) work, so emitting a wait edge
+// here would bill compute phases as waits and skew critical-path attribution.
 void Engine::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  // vmlint:allow(hot-path-alloc) one WaitRecord per sleep; deleted by the
+  // ROADMAP pooled-WaitRecord refactor together with causal.hpp's escape.
   rec = std::make_shared<WaitRecord>();
   rec->handle = h;
   rec->span = engine->current_span();

@@ -37,6 +37,8 @@ template <typename List>
 inline std::shared_ptr<WaitRecord> enlist_waiter(List& list, Engine& engine,
                                                  std::coroutine_handle<> h) {
   auto rec = make_wait_record(engine, h);
+  // vmlint:allow(hot-path-alloc) waiter-list growth, one slot per blocked
+  // coroutine; intrusive pooled WaitRecords (ROADMAP) remove this escape.
   list.push_back(rec);
   return rec;
 }
@@ -176,6 +178,8 @@ class Channel {
       : engine_(&engine), trace_name_(trace_name) {}
 
   void push(T value) {
+    // vmlint:allow(hot-path-alloc) unbounded channel buffer by design;
+    // a fixed-capacity ring variant is the escape's exit path.
     items_.push_back(std::move(value));
     wake_one();
   }

@@ -70,6 +70,8 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
     void await_suspend(std::coroutine_handle<> h) {
       auto r = sim::make_wait_record(*disk->engine_, h);
       rec = r;
+      // vmlint:allow(hot-path-alloc) admission queue growth is bounded by
+      // writers-in-flight; pooled WaitRecords (ROADMAP) absorb this too.
       disk->dirty_waiters_.push_back({need, std::move(r)});
     }
     void await_resume() noexcept {
@@ -134,6 +136,8 @@ sim::Task<void> Disk::flush() {
     bool await_ready() const { return disk->flushes_in_flight_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
       rec = sim::make_wait_record(*disk->engine_, h);
+      // vmlint:allow(hot-path-alloc) flush waiters are rare (one per
+      // explicit flush); pooled WaitRecords (ROADMAP) absorb this too.
       disk->flush_waiters_.push_back(rec);
     }
     void await_resume() noexcept {

@@ -1,0 +1,32 @@
+// Fixture: allocations inside the hot dispatch closure (hot-path-alloc).
+// Engine::run suffix-matches the configured hot roots; everything it calls
+// transitively is hot. cold_setup is unreachable from any root and may
+// allocate freely.
+namespace fixture {
+
+struct Engine {
+  std::vector<int> backlog;
+  int* scratch = nullptr;
+
+  void enqueue(int v) {
+    backlog.push_back(v);  // hot-alloc-call
+  }
+
+  void hook_fn() {
+    auto f = std::function<void()>([] {});  // hot-std-function
+    (void)f;
+  }
+
+  void run() {
+    scratch = new int[16];  // hot-new-expression
+    hook_fn();
+    enqueue(1);
+  }
+};
+
+void cold_setup() {
+  std::vector<int> init;
+  init.push_back(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: RAII guards held across suspension points (lock-across-await).
+// The first is the textual shape (guard + co_await in scope); the second
+// holds a guard across a *call* whose co_await is in another function —
+// the call-graph half of the rule.
+namespace fixture {
+
+sim::Task<void> helper_waits(sim::Engine& engine) {
+  co_await engine.sleep(5);
+}
+
+sim::Task<void> locked_across_await(sim::Engine& engine, std::mutex& m) {
+  std::lock_guard<std::mutex> g(m);  // lock-across-co-await
+  co_await engine.sleep(10);
+}
+
+int locked_across_call(sim::Engine& engine, std::mutex& m) {
+  std::unique_lock<std::mutex> lk(m);  // lock-across-blocking-call
+  auto pending = helper_waits(engine);
+  return 0;
+}
+
+}  // namespace fixture

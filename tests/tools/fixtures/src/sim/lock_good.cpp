@@ -1,0 +1,23 @@
+// Fixture: guards released before suspension, plus a justified escape —
+// zero lock-across-await findings expected.
+namespace fixture {
+
+sim::Task<void> scoped_then_await(sim::Engine& engine, std::mutex& m) {
+  {
+    std::lock_guard<std::mutex> g(m);
+  }
+  co_await engine.sleep(10);
+}
+
+int plain_guarded(std::mutex& m, int x) {
+  std::lock_guard<std::mutex> g(m);
+  return x + 1;
+}
+
+sim::Task<void> allowed_hold(sim::Engine& engine, std::mutex& m) {
+  // vmlint:allow(lock-across-await) fixture exercises the allow escape
+  std::scoped_lock<std::mutex> held(m);
+  co_await engine.sleep(1);
+}
+
+}  // namespace fixture

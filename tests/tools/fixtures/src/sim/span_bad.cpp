@@ -1,0 +1,19 @@
+// Fixture: a blocking awaiter whose wait never reaches the causal trace —
+// it creates a WaitRecord but no method on the awaiter calls
+// record_wait_edge, so the span-coverage rule must flag await_suspend.
+namespace fixture {
+
+struct MuteAwaiter {
+  sim::Engine* engine;
+  std::shared_ptr<sim::WaitRecord> rec;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {  // span-coverage-bad
+    rec = sim::make_wait_record(*engine, h);
+  }
+  void await_resume() {
+    if (rec) rec->resumed = true;
+  }
+};
+
+}  // namespace fixture

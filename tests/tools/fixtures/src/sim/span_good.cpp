@@ -1,0 +1,16 @@
+// Fixture: awaiter records its wait edge on resume — zero span-coverage
+// findings expected.
+namespace fixture {
+
+struct TracedAwaiter {
+  sim::Engine* engine;
+  std::shared_ptr<sim::WaitRecord> rec;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    rec = sim::make_wait_record(*engine, h);
+  }
+  void await_resume() { sim::record_wait_edge(*engine, *rec, "fixture.span"); }
+};
+
+}  // namespace fixture

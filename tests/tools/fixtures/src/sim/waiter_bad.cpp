@@ -1,0 +1,33 @@
+// Fixture: the PR-5 SleepAwaiter use-after-free shape. SleepishAwaiter
+// schedules a wakeup with no liveness guard: if the sleeping coroutine is
+// destroyed before the wakeup fires, the engine resumes a dead frame
+// (unguarded-schedule). UnauditedAwaiter guards the schedule but never
+// registers it with the auditor, so the fuzzer's dead-waiter oracle cannot
+// see the wakeup (missing-audit-hook).
+namespace fixture {
+
+struct SleepishAwaiter {
+  sim::Engine* engine;
+  double wake_at;
+  std::shared_ptr<sim::WaitRecord> rec;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine->schedule_at(wake_at, h);  // unguarded-schedule
+  }
+  void await_resume() {}
+};
+
+struct UnauditedAwaiter {
+  sim::Engine* engine;
+  std::shared_ptr<sim::WaitRecord> rec;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    rec = sim::make_wait_record(*engine, h);
+    engine->schedule_after(5, h, sim::alive_guard(rec));  // missing-audit-hook
+  }
+  void await_resume() { sim::record_wait_edge(*engine, *rec, "fixture.wait"); }
+};
+
+}  // namespace fixture

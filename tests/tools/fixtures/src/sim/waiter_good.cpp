@@ -1,0 +1,24 @@
+// Fixture: disciplined waiters — every wakeup carries an alive_guard and
+// records created here are registered with the auditor. Zero findings.
+namespace fixture {
+
+struct GoodAwaiter {
+  sim::Engine* engine;
+  std::shared_ptr<sim::WaitRecord> rec;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    rec = sim::make_wait_record(*engine, h);
+    auto seq = engine->schedule_after(5, h, sim::alive_guard(rec));
+    if (auto* a = engine->auditor()) a->on_wakeup_scheduled(seq, rec);
+  }
+  void await_resume() { sim::record_wait_edge(*engine, *rec, "fixture.wait"); }
+};
+
+// Scheduling a record made elsewhere is fine as long as the guard rides
+// along (this function mentions WaitRecord, so the rule inspects it).
+void wake_later(sim::Engine& engine, std::shared_ptr<sim::WaitRecord> rec) {
+  engine.schedule_after(2, rec->handle, sim::alive_guard(rec));
+}
+
+}  // namespace fixture

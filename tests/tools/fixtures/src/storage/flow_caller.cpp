@@ -1,0 +1,21 @@
+// Fixture: guard held across a call whose co_await lives in another TU —
+// the blocking fact crosses flow_pump.hpp via the call graph.
+#include "storage/flow_pump.hpp"
+
+namespace fixture {
+
+int caller_with_guard(sim::Engine& engine, std::mutex& m) {
+  std::lock_guard<std::mutex> g(m);  // lock-across-blocking-call-xtu
+  auto pending = pump_through_header(engine, 3);
+  return 0;
+}
+
+int caller_released(sim::Engine& engine, std::mutex& m) {
+  {
+    std::lock_guard<std::mutex> g(m);
+  }
+  auto pending = pump_through_header(engine, 3);
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the blocking definition behind flow_pump.hpp's declaration.
+#include "storage/flow_pump.hpp"
+
+namespace fixture {
+
+sim::Task<void> pump_through_header(sim::Engine& engine, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await engine.sleep(1);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: cross-TU blocking propagation. The definition co_awaits in
+// flow_impl.cpp; flow_caller.cpp only ever sees this declaration, so the
+// lock-across-await rule must learn the blocking fact from the call graph.
+#pragma once
+
+namespace fixture {
+
+sim::Task<void> pump_through_header(sim::Engine& engine, int n);
+
+}  // namespace fixture

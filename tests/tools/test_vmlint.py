@@ -29,11 +29,12 @@ from tokenizer import tokenize, masked_lines  # noqa: E402
 
 
 def run_rule(rule_name):
-    """All findings for one rule over the fixture tree, as a set of
-    (rel, line, rule_label) triples."""
+    """All reportable findings for one rule over the fixture tree, as a set
+    of (rel, line, rule_label) triples. Allow-escaped findings are split out
+    by run_rules and do not appear here."""
     project = core.walk_project(FIXTURES)
-    findings = core.run_rules(project, make_rules([rule_name]))
-    return {(f.rel, f.line, f.rule_label()) for f, _ in findings}
+    result = core.run_rules(project, make_rules([rule_name]))
+    return {(f.rel, f.line, f.rule_label()) for f, _ in result.findings}
 
 
 def line_of(rel, marker):
@@ -124,6 +125,73 @@ def test_masked_lines():
     assert lines[0].index(";") == src.splitlines()[0].index(";")
 
 
+def test_tokenizer_if0_masking():
+    src = ("int live1;\n"
+           "#if 0\n"
+           "rand();  // dead code, must be invisible\n"
+           "#else\n"
+           "int live2;\n"
+           "#endif\n"
+           "#if 1\n"
+           "int live3;\n"
+           "#else\n"
+           "srand(7);\n"
+           "#endif\n")
+    toks = tokenize(src)
+    ids = [t.text for t in toks if t.kind == "id"]
+    assert "live1" in ids and "live2" in ids and "live3" in ids, ids
+    assert "rand" not in ids and "srand" not in ids, ids
+    # Disabled regions surface as 'disabled' tokens and mask out of
+    # code_lines just like comments.
+    assert any(t.kind == "disabled" for t in toks)
+    lines = masked_lines(src, toks)
+    assert "rand" not in "".join(lines)
+
+
+def test_tokenizer_unknown_conditionals_stay_live():
+    # Only literal #if 0 / #if 1 are evaluated; both arms of an unknown
+    # condition must remain visible (a linter can't know the build config).
+    src = ("#ifdef SOME_FLAG\n"
+           "int arm_a;\n"
+           "#else\n"
+           "int arm_b;\n"
+           "#endif\n")
+    ids = [t.text for t in tokenize(src) if t.kind == "id"]
+    assert "arm_a" in ids and "arm_b" in ids, ids
+
+
+def test_tokenizer_nested_disabled_regions():
+    src = ("#if 0\n"
+           "#ifdef INNER\n"
+           "rand();\n"
+           "#endif\n"
+           "more_dead();\n"
+           "#endif\n"
+           "int alive;\n")
+    ids = [t.text for t in tokenize(src) if t.kind == "id"]
+    assert ids == ["int", "alive"], ids
+
+
+def test_tokenizer_macro_continuations_masked():
+    # The body of a multi-line #define is directive text, not code: the
+    # rand() on the continuation line must not leak into id tokens.
+    src = ("#define LOOP(x) \\\n"
+           "  for (int i = 0; i < (x); ++i) rand()\n"
+           "int after;\n")
+    toks = tokenize(src)
+    ids = [t.text for t in toks if t.kind == "id"]
+    assert "rand" not in ids, ids
+    assert "after" in ids, ids
+
+
+def test_tokenizer_if0_inside_comment_ignored():
+    # Directives that only exist inside comments or strings are not
+    # directives; the code after them stays live.
+    src = ('/* #if 0 */\nint a;\nauto s = "#if 0";\nint b;\n')
+    ids = [t.text for t in tokenize(src) if t.kind == "id"]
+    assert "a" in ids and "b" in ids, ids
+
+
 # --------------------------------------------------------------- rule tests
 
 def test_determinism_rule():
@@ -202,11 +270,116 @@ def test_header_hygiene_rule():
     assert got == want, (got, want)
 
 
+def test_lock_across_await_rule():
+    bad = "src/sim/lock_bad.cpp"
+    xtu = "src/storage/flow_caller.cpp"
+    got = run_rule("lock-across-await")
+    want = {
+        (bad, line_of(bad, "lock-across-co-await"),
+         "lock-across-await/co-await"),
+        (bad, line_of(bad, "lock-across-blocking-call"),
+         "lock-across-await/blocking-call"),
+        # Cross-TU: the callee's co_await lives in flow_impl.cpp; the caller
+        # only sees flow_pump.hpp's declaration. Catching this requires the
+        # call graph to propagate blocking through the header.
+        (xtu, line_of(xtu, "lock-across-blocking-call-xtu"),
+         "lock-across-await/blocking-call"),
+    }
+    # lock_good.cpp (scoped release, non-blocking body, allow escape) and
+    # flow_caller's caller_released contribute nothing.
+    assert got == want, (got, want)
+
+
+def test_unguarded_waiter_rule():
+    bad = "src/sim/waiter_bad.cpp"
+    got = run_rule("unguarded-waiter")
+    want = {
+        (bad, line_of(bad, "// unguarded-schedule"),
+         "unguarded-waiter/unguarded-schedule"),
+        (bad, line_of(bad, "// missing-audit-hook"),
+         "unguarded-waiter/missing-audit-hook"),
+    }
+    # waiter_good.cpp (guarded + audited, and a guarded relay) is clean.
+    assert got == want, (got, want)
+
+
+def test_unguarded_waiter_flags_pr5_sleepawaiter_shape():
+    """Regression: the PR 5 SleepAwaiter use-after-free scheduled a wakeup
+    with no liveness guard; its fixture reproduction must stay flagged."""
+    bad = "src/sim/waiter_bad.cpp"
+    got = run_rule("unguarded-waiter")
+    assert (bad, line_of(bad, "schedule_at(wake_at, h)"),
+            "unguarded-waiter/unguarded-schedule") in got, got
+
+
+def test_hot_path_alloc_rule():
+    bad = "src/sim/hot_bad.cpp"
+    got = run_rule("hot-path-alloc")
+    want = {
+        (bad, line_of(bad, "hot-alloc-call"),
+         "hot-path-alloc/alloc-call"),
+        (bad, line_of(bad, "hot-std-function"),
+         "hot-path-alloc/std-function"),
+        (bad, line_of(bad, "hot-new-expression"),
+         "hot-path-alloc/new-expression"),
+    }
+    # hot_good.cpp: cold allocations and the budget-tracked allow escape
+    # produce no reportable findings (the escape lands in result.allowed).
+    assert got == want, (got, want)
+
+
+def test_span_coverage_rule():
+    bad = "src/sim/span_bad.cpp"
+    got = run_rule("span-coverage")
+    want = {
+        (bad, line_of(bad, "span-coverage-bad"), "span-coverage"),
+    }
+    # span_good.cpp records its edge in await_resume; waiter fixtures'
+    # awaiters record theirs too.
+    assert got == want, (got, want)
+
+
+def test_callgraph_cross_tu_blocking():
+    """Blocking propagates from a co_await in one TU, through a
+    header-declared function, to callers in another TU; hot-set closure
+    covers same-class calls."""
+    import callgraph
+    project = core.walk_project(FIXTURES)
+    graph = callgraph.get(project)
+    by_disp = {}
+    for fn in graph.functions:
+        by_disp.setdefault(fn.display(), []).append(fn)
+
+    def one(disp, rel):
+        return next(f for f in by_disp[disp] if f.rel == rel)
+
+    pump = one("fixture::pump_through_header", "src/storage/flow_impl.cpp")
+    assert pump.has_co_await and pump.blocking
+
+    caller = one("fixture::caller_with_guard", "src/storage/flow_caller.cpp")
+    assert caller.blocking and not caller.has_co_await
+
+    helper = one("fixture::helper_waits", "src/sim/lock_bad.cpp")
+    locked = one("fixture::locked_across_call", "src/sim/lock_bad.cpp")
+    assert helper.blocking and locked.blocking
+
+    cold = one("fixture::cold_setup", "src/sim/hot_bad.cpp")
+    assert not cold.blocking and not cold.hot
+
+    run = one("fixture::Engine::run", "src/sim/hot_bad.cpp")
+    enqueue = one("fixture::Engine::enqueue", "src/sim/hot_bad.cpp")
+    assert run.hot and enqueue.hot
+    assert enqueue.hot_root == "Engine::run"
+
+    prepare = one("fixture::Warmup::prepare", "src/sim/hot_good.cpp")
+    assert not prepare.hot
+
+
 # ----------------------------------------------------- escapes and baseline
 
 def test_baseline_roundtrip():
     project = core.walk_project(FIXTURES)
-    findings = core.run_rules(project, make_rules(["determinism"]))
+    findings = core.run_rules(project, make_rules(["determinism"])).findings
     assert findings
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "baseline.txt")
@@ -268,7 +441,8 @@ def test_cli_list_rules():
                           capture_output=True, text=True)
     assert proc.returncode == 0, proc
     for rule in ("determinism", "coro-capture", "layer-dag",
-                 "status-discipline", "header-hygiene"):
+                 "status-discipline", "header-hygiene", "lock-across-await",
+                 "unguarded-waiter", "hot-path-alloc", "span-coverage"):
         assert rule in proc.stdout, (rule, proc.stdout)
 
 
@@ -278,6 +452,70 @@ def test_cli_unknown_rule():
         capture_output=True, text=True)
     assert proc.returncode == 2, proc
     assert "unknown rule" in proc.stderr, proc.stderr
+
+
+def test_cli_stats_json():
+    import json
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = os.path.join(tmp, "stats.json")
+        proc = subprocess.run(
+            [sys.executable, VMLINT_PY, "--root", FIXTURES,
+             "--rules", "lock-across-await,span-coverage",
+             "--baseline", os.devnull, "--stats", stats_path],
+            capture_output=True, text=True)
+        assert proc.returncode == 1, proc  # fixtures contain findings
+        with open(stats_path, encoding="utf-8") as f:
+            stats = json.load(f)
+    assert stats["schema"] == "vmstorm-vmlint-stats-v1", stats
+    assert stats["findings"] == 4, stats  # 3 lock + 1 span
+    assert {r["rule"] for r in stats["rules"]} == {
+        "lock-across-await", "span-coverage"}, stats
+    assert all(r["seconds"] >= 0 for r in stats["rules"]), stats
+    # Graph-backed runs report call-graph shape for CI budget tracking.
+    assert stats["callgraph"] is not None, stats
+    assert stats["callgraph"]["functions"] > 0, stats
+    assert stats["callgraph"]["blocking_set"] > 0, stats
+
+
+def test_cli_hotpath_budget_roundtrip():
+    """The allow(hot-path-alloc) escape in hot_good.cpp must be reconciled
+    against the budget file: unbudgeted -> finding, budgeted -> clean,
+    budgeted-but-gone -> stale (fails --strict only)."""
+    base = [sys.executable, VMLINT_PY, "--root", FIXTURES,
+            "--rules", "hot-path-alloc", "--baseline", os.devnull]
+    with tempfile.TemporaryDirectory() as tmp:
+        budget = os.path.join(tmp, "budget.txt")
+
+        # No budget file: the escape is reported as unbudgeted-allow.
+        proc = subprocess.run(base + ["--hotpath-budget", budget],
+                              capture_output=True, text=True)
+        assert proc.returncode == 1, proc
+        assert "hot-path-alloc/unbudgeted-allow" in proc.stdout, proc.stdout
+
+        # --fix-hotpath-budget writes it; the run is then clean except for
+        # hot_bad.cpp's real findings.
+        proc = subprocess.run(
+            base + ["--hotpath-budget", budget, "--fix-hotpath-budget"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc
+        with open(budget, encoding="utf-8") as f:
+            entries = [ln for ln in f.read().splitlines()
+                       if ln and not ln.startswith("#")]
+        assert len(entries) == 1 and "hot_good.cpp" in entries[0], entries
+        proc = subprocess.run(base + ["--hotpath-budget", budget],
+                              capture_output=True, text=True)
+        assert "unbudgeted-allow" not in proc.stdout, proc.stdout
+
+        # A stale budget entry (escape removed) fails only under --strict.
+        with open(budget, "a", encoding="utf-8") as f:
+            f.write("hot-path-alloc\tsrc/sim/gone.cpp\tpush_back(x);\n")
+        proc = subprocess.run(base + ["--hotpath-budget", budget],
+                              capture_output=True, text=True)
+        assert "stale hot-path budget entry" in proc.stdout, proc.stdout
+        proc = subprocess.run(
+            base + ["--hotpath-budget", budget, "--strict"],
+            capture_output=True, text=True)
+        assert proc.returncode == 1, proc
 
 
 def main():

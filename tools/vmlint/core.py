@@ -26,6 +26,7 @@ import collections
 import os
 import re
 import sys
+import time
 
 from tokenizer import tokenize, masked_lines
 
@@ -84,18 +85,33 @@ class SourceFile:
                 if m:
                     self.allows[t.line + off].update(
                         r.strip() for r in m.group("rules").split(","))
+        # Lines that are pure comment (non-blank source, no code): an allow
+        # marker anywhere in the comment block directly above a finding
+        # counts, so multi-line justifications don't have to contort to keep
+        # the marker on the last line.
+        self.comment_only = {
+            i + 1 for i, code in enumerate(self.code_lines)
+            if not code.strip() and i < len(self.lines)
+            and self.lines[i].strip()}
 
     def in_dir(self, *tops):
         return any(self.rel == t or self.rel.startswith(t + "/") for t in tops)
 
     def allowed(self, finding):
-        """vmlint:allow / lint:allow on the finding line or the line above."""
+        """vmlint:allow / lint:allow on the finding line, the line above, or
+        anywhere in the contiguous comment block ending on the line above."""
         names = {finding.rule, finding.rule_label()}
         if finding.subrule:
             names.add(finding.subrule)
-        for ln in (finding.line, finding.line - 1):
+        if not self.allows[finding.line].isdisjoint(names):
+            return True
+        ln = finding.line - 1
+        while ln >= 1:
             if not self.allows[ln].isdisjoint(names):
                 return True
+            if ln not in self.comment_only:
+                break
+            ln -= 1
         return False
 
 
@@ -146,33 +162,65 @@ def load_baseline(path):
     return entries
 
 
-def save_baseline(path, keyed_findings):
-    header = (
-        "# vmlint baseline — grandfathered findings, one per line as\n"
-        "# <rule>\\t<path>\\t<normalized source line>.\n"
-        "# Regenerate with tools/vmlint/vmlint.py --fix-baseline. The goal\n"
-        "# state of this file is EMPTY: fix findings instead of adding here.\n")
+_BASELINE_HEADER = (
+    "# vmlint baseline — grandfathered findings, one per line as\n"
+    "# <rule>\\t<path>\\t<normalized source line>.\n"
+    "# Regenerate with tools/vmlint/vmlint.py --fix-baseline. The goal\n"
+    "# state of this file is EMPTY: fix findings instead of adding here.\n")
+
+
+def save_baseline(path, keyed_findings, header=_BASELINE_HEADER):
     with open(path, "w", encoding="utf-8") as f:
         f.write(header)
         for key in sorted(keyed_findings):
             f.write(key + "\n")
 
 
+class RunResult:
+    """Outcome of run_rules: reportable findings, allow-escaped findings
+    (the hot-path budget is reconciled against these), and per-rule wall
+    timings for --stats."""
+
+    def __init__(self, findings, allowed, timings):
+        self.findings = findings  # [(Finding, SourceFile)] not allow-escaped
+        self.allowed = allowed    # [(Finding, SourceFile)] allow-escaped
+        self.timings = timings    # [{"rule", "seconds", "findings", ...}]
+
+
+def _sorted_pairs(pairs):
+    pairs.sort(key=lambda pair: (pair[0].rel, pair[0].line,
+                                 pair[0].rule_label()))
+    return pairs
+
+
 def run_rules(project, rules):
-    """Runs each rule over the project. Returns (findings, per-file map) with
-    allow-escaped findings already removed, sorted for deterministic output."""
-    findings = []
+    """Runs each rule over the project. Returns a RunResult; allow-escaped
+    findings are split out (not dropped) so the driver can reconcile
+    hot-path-alloc escapes against the committed budget. Both lists are
+    sorted for deterministic output."""
+    findings, allowed, timings = [], [], []
     for rule in rules:
+        t0 = time.perf_counter()
+        n_find = n_allow = 0
         prepare = getattr(rule, "prepare", None)
         if prepare:
             prepare(project)
         for sf in project.sources():
             for finding in rule.visit(sf, sf.tokens):
-                if not sf.allowed(finding):
+                if sf.allowed(finding):
+                    allowed.append((finding, sf))
+                    n_allow += 1
+                else:
                     findings.append((finding, sf))
-    findings.sort(key=lambda pair: (pair[0].rel, pair[0].line,
-                                    pair[0].rule_label()))
-    return findings
+                    n_find += 1
+        timings.append({
+            "rule": rule.name,
+            "seconds": round(time.perf_counter() - t0, 4),
+            "findings": n_find,
+            "allowed": n_allow,
+        })
+    return RunResult(_sorted_pairs(findings), _sorted_pairs(allowed),
+                     timings)
 
 
 def apply_baseline(findings, baseline):
@@ -192,16 +240,22 @@ def apply_baseline(findings, baseline):
 
 
 def print_report(new, grandfathered, stale, n_files, n_rules, strict,
-                 out=sys.stdout):
+                 out=sys.stdout, budget_stale=()):
     for finding, _ in new:
         print(finding.render(), file=out)
     for key in stale:
         print(f"stale baseline entry (fix with --fix-baseline): {key}",
               file=out)
-    failed = bool(new) or (strict and bool(stale))
+    for key in budget_stale:
+        print("stale hot-path budget entry "
+              f"(fix with --fix-hotpath-budget): {key}", file=out)
+    failed = bool(new) or (strict and bool(stale or budget_stale))
     status = "FAILED" if failed else "OK"
     extra = f", {len(grandfathered)} baselined" if grandfathered else ""
+    stale_bits = f"{len(stale)} stale baseline entr(ies)"
+    if budget_stale:
+        stale_bits += f", {len(budget_stale)} stale budget entr(ies)"
     print(f"vmlint: {status} — {len(new)} finding(s){extra}, "
-          f"{len(stale)} stale baseline entr(ies) in {n_files} file(s) "
+          f"{stale_bits} in {n_files} file(s) "
           f"across {n_rules} rule(s)", file=out)
     return 1 if failed else 0

@@ -12,6 +12,10 @@ from rules.coro_capture import CoroCaptureRule
 from rules.layer_dag import LayerDagRule
 from rules.status_discipline import StatusDisciplineRule
 from rules.header_hygiene import HeaderHygieneRule
+from rules.lock_across_await import LockAcrossAwaitRule
+from rules.unguarded_waiter import UnguardedWaiterRule
+from rules.hot_path_alloc import HotPathAllocRule
+from rules.span_coverage import SpanCoverageRule
 
 ALL_RULES = (
     DeterminismRule,
@@ -19,6 +23,10 @@ ALL_RULES = (
     LayerDagRule,
     StatusDisciplineRule,
     HeaderHygieneRule,
+    LockAcrossAwaitRule,
+    UnguardedWaiterRule,
+    HotPathAllocRule,
+    SpanCoverageRule,
 )
 
 

@@ -13,12 +13,31 @@ linting:
   * digit separators and exponents in numeric literals
 
 It does NOT run the preprocessor; `#include` lines are ordinary tokens
-(`#`, `include`, string-literal). Unterminated literals are closed at
-end-of-line (strings/chars) or end-of-file (block comments, raw strings)
-rather than raising, so a syntactically broken file still lints.
+(`#`, `include`, string-literal). It does, however, understand just enough
+conditional-compilation structure to stop rules from firing on dead code:
 
-Token kinds: 'id', 'num', 'str', 'char', 'punct', 'comment'.
+  * regions disabled by a provably-false branch (`#if 0`, the `#else` of
+    `#if 1`, branches after a taken literal `#elif`) are lexed as a single
+    token of kind 'disabled' and blanked by masked_lines(), so neither
+    token rules nor regex rules ever see them. Non-literal conditions
+    (`#ifdef FOO`, `#if LEVEL > 2`) keep both branches live — vmlint lints
+    every configuration it cannot refute.
+  * backslash-continuation lines of any preprocessor directive (multi-line
+    `#define` bodies in particular) are masked the same way: they are
+    preprocessor text, not tokens of the translation unit, and a stray
+    unbalanced `{` in a macro body must not desync brace matching in the
+    call-graph pass.
+
+Directive structure is recognized on a comment/string-blanked shadow copy of
+the source, so a commented-out `#if 0` or one inside a raw string cannot open
+a phantom region. Unterminated literals are closed at end-of-line
+(strings/chars) or end-of-file (block comments, raw strings) rather than
+raising, so a syntactically broken file still lints.
+
+Token kinds: 'id', 'num', 'str', 'char', 'punct', 'comment', 'disabled'.
 """
+
+import re
 
 from dataclasses import dataclass
 
@@ -33,7 +52,7 @@ _PUNCT2 = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
 
 @dataclass(frozen=True)
 class Token:
-    kind: str   # 'id' | 'num' | 'str' | 'char' | 'punct' | 'comment'
+    kind: str   # 'id' | 'num' | 'str' | 'char' | 'punct' | 'comment' | 'disabled'
     text: str   # exact source text, including quotes/comment markers
     line: int   # 1-based line of the token's first character
     col: int    # 1-based column of the token's first character
@@ -50,10 +69,25 @@ def _is_id_char(c):
 
 
 def tokenize(text):
-    """Tokenizes C++ source text. Returns a list of Token."""
+    """Tokenizes C++ source text. Returns a list of Token.
+
+    Two passes: a plain lex, then — if the comment/string-blanked shadow of
+    the source contains disabled preprocessor regions or directive
+    continuation lines — a re-lex that covers each such region with a single
+    'disabled' token."""
+    toks = _tokenize(text, ())
+    spans = _disabled_spans(text, toks)
+    if not spans:
+        return toks
+    return _tokenize(text, spans)
+
+
+def _tokenize(text, disabled_spans):
     toks = []
     i, n = 0, len(text)
     line, col = 1, 1
+    spans = list(disabled_spans)
+    sp = 0
 
     def advance_over(j):
         """Updates (line, col) for text[i:j] and returns j."""
@@ -102,6 +136,17 @@ def tokenize(text):
         return n if pos < 0 else pos + len(closer)
 
     while i < n:
+        # Disabled preprocessor regions: one token, no lexing inside. A
+        # multi-line comment or raw string that opened in live code may have
+        # consumed past a span start; tolerate by emitting from wherever the
+        # scan currently stands.
+        while sp < len(spans) and spans[sp][1] <= i:
+            sp += 1
+        if sp < len(spans) and spans[sp][0] <= i:
+            emit("disabled", max(i + 1, spans[sp][1]))
+            sp += 1
+            continue
+
         c = text[i]
 
         # Whitespace and backslash-newline continuations between tokens.
@@ -184,13 +229,128 @@ def tokenize(text):
     return toks
 
 
-def masked_lines(text, tokens):
-    """Source split into lines with comments blanked and literal contents
-    blanked (quotes kept), preserving columns. Regex-based rules run on
-    these lines so string/comment contents can never false-positive."""
+RE_DIRECTIVE = re.compile(r"#\s*(\w+)(.*)$", re.S)
+
+
+def _literal_cond(rest):
+    """True/False for a provably-literal #if condition, else None."""
+    rest = re.sub(r"/\*.*?\*/", " ", rest, flags=re.S)
+    rest = re.sub(r"//.*", "", rest)
+    rest = rest.strip()
+    while rest.startswith("(") and rest.endswith(")"):
+        rest = rest[1:-1].strip()
+    if rest == "0":
+        return False
+    if rest == "1":
+        return True
+    return None
+
+
+def _continues(phys_line):
+    return phys_line.rstrip("\r").endswith("\\")
+
+
+def _disabled_spans(text, tokens):
+    """Byte spans covered by disabled preprocessor branches or directive
+    continuation lines, computed on a comment/string-blanked shadow so that
+    commented-out or quoted directives are invisible. Spans are line-aligned,
+    contiguous runs merged, sorted."""
+    if "#" not in text:
+        return []
     buf = list(text)
     for t in tokens:
-        if t.kind == "comment":
+        if t.kind in ("comment", "str", "char"):
+            for j in range(t.start, t.end):
+                if buf[j] != "\n":
+                    buf[j] = " "
+    phys = "".join(buf).split("\n")
+    nl = len(phys)
+
+    flags = [False] * nl
+    # One frame per open conditional: [active, known, taken]. `known` means
+    # the controlling conditions seen so far were all literal 0/1; once an
+    # unknown condition appears the frame degrades to both-branches-live.
+    frames = []
+    i = 0
+    while i < nl:
+        dead_before = any(not f[0] for f in frames)
+        stripped = phys[i].lstrip()
+        if not stripped.startswith("#"):
+            flags[i] = dead_before
+            i += 1
+            continue
+        # Gather the logical directive, marking continuation lines.
+        j = i
+        parts = [stripped]
+        while _continues(phys[j]) and j + 1 < nl:
+            j += 1
+            flags[j] = True
+            parts.append(phys[j].strip())
+        logical = " ".join(p.rstrip("\r").rstrip().rstrip("\\") for p in parts)
+        m = RE_DIRECTIVE.match(logical)
+        kw, rest = (m.group(1), m.group(2)) if m else ("", "")
+        if kw in ("if", "ifdef", "ifndef"):
+            cond = _literal_cond(rest) if kw == "if" else None
+            if dead_before:
+                # Nested under a dead branch: the whole conditional is dead
+                # no matter what; mark taken so #else stays dead too.
+                frames.append([False, True, True])
+            elif cond is False:
+                frames.append([False, True, False])
+            elif cond is True:
+                frames.append([True, True, True])
+            else:
+                frames.append([True, False, False])
+        elif kw == "elif" and frames:
+            f = frames[-1]
+            if f[1]:
+                if f[2]:
+                    f[0] = False
+                else:
+                    cond = _literal_cond(rest)
+                    if cond is True:
+                        f[0], f[2] = True, True
+                    elif cond is False:
+                        f[0] = False
+                    else:
+                        f[0], f[1] = True, False
+        elif kw == "else" and frames:
+            f = frames[-1]
+            if f[1]:
+                f[0] = not f[2]
+                f[2] = True
+        elif kw == "endif" and frames:
+            frames.pop()
+        dead_after = any(not f[0] for f in frames)
+        # The directive's own first line is masked whenever it borders a dead
+        # region (so `#if 0`, its `#else`, and interior directives vanish);
+        # live directives (#include, #define openers, live #endif) survive
+        # for the include-graph and hygiene rules.
+        flags[i] = dead_before or dead_after
+        i = j + 1
+
+    # Line flags -> merged byte spans (each line's span includes its '\n').
+    spans = []
+    offset = 0
+    for k in range(nl):
+        end = offset + len(phys[k]) + (1 if k + 1 < nl else 0)
+        if flags[k]:
+            if spans and spans[-1][1] == offset:
+                spans[-1][1] = end
+            else:
+                spans.append([offset, end])
+        offset = end
+    return [(s, e) for s, e in spans if e > s]
+
+
+def masked_lines(text, tokens):
+    """Source split into lines with comments and disabled preprocessor
+    regions blanked and literal contents blanked (quotes kept), preserving
+    columns. Regex-based rules run on these lines so string/comment/dead-code
+    contents can never false-positive."""
+    buf = list(text)
+    for t in tokens:
+        if t.kind in ("comment", "disabled"):
             for j in range(t.start, t.end):
                 if buf[j] != "\n":
                     buf[j] = " "
