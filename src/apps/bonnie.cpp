@@ -1,26 +1,21 @@
 #include "apps/bonnie.hpp"
 
-#include <chrono>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/selfprof.hpp"
 
 namespace vmstorm::apps {
 
 namespace {
 
 // Bonnie measures REAL filesystem throughput (imgfs over memory or POSIX
-// devices), not simulated time, so wall-clock use is deliberate and funneled
-// through this single annotated helper.
-std::chrono::steady_clock::time_point wall_now() {
-  // vmlint:allow(determinism) bonnie times a real filesystem, not the sim
-  return std::chrono::steady_clock::now();
-}
+// devices), not simulated time. All host timing funnels through the one
+// sanctioned wall-clock read, obs::SelfProfiler::wall_now().
+double wall_now() { return obs::SelfProfiler::wall_now(); }
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(wall_now() - t0).count();
-}
+double seconds_since(double t0) { return wall_now() - t0; }
 
 void fill_block(std::vector<std::byte>* buf, Rng* rng) {
   // Cheap non-constant content: one RNG word per 64 bytes, splatted.

@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "obs/critpath.hpp"
+#include "obs/json.hpp"
 
 namespace vmstorm::apps {
 
@@ -223,6 +224,64 @@ Result<std::string> cmd_critpath(const Parsed& p) {
   return obs::attribution_table(report);
 }
 
+Result<std::string> cmd_engine_stats(const Parsed& p) {
+  if (p.positional.size() != 1) {
+    return invalid_argument("engine-stats <BENCH_engine.json>");
+  }
+  std::ifstream in(p.positional[0], std::ios::binary);
+  if (!in) return not_found("cannot open " + p.positional[0]);
+  std::ostringstream text;
+  text << in.rdbuf();
+  VMSTORM_ASSIGN_OR_RETURN(doc, obs::parse_json(text.str()));
+  if (doc["schema"].as_string() != "vmstorm-engine-v1") {
+    return invalid_argument("not a vmstorm-engine-v1 artifact (schema: \"" +
+                            doc["schema"].as_string() + "\")");
+  }
+
+  std::ostringstream os;
+  os << doc["title"].as_string() << " ("
+     << (doc["quick"].as_bool() ? "quick" : "full") << " mode, config "
+     << doc["config"]["fingerprint"].as_string() << ")\n\n";
+
+  // Deterministic engine counters — same for every arm by construction.
+  const obs::JsonValue& sim = doc["sim"];
+  Table counters({"engine counter", "value"});
+  for (const auto& [key, v] : sim.members()) {
+    if (!v.is_number()) continue;  // nested trace section rendered below
+    counters.add_row({key, Table::num(v.as_number(), 0)});
+  }
+  const obs::JsonValue& trace = sim["trace"];
+  for (const auto& [key, v] : trace.members()) {
+    counters.add_row({"trace." + key, Table::num(v.as_number(), 0)});
+  }
+  os << counters.to_string() << "\n";
+
+  // Tracing ablation: host-time costs per arm, overhead vs tracing off.
+  const obs::JsonValue& arms = doc["overhead"]["arms"];
+  double off_wall = 0;
+  for (const obs::JsonValue& arm : arms.items()) {
+    if (arm["name"].as_string() == "off") off_wall = arm["wall_seconds"].as_number();
+  }
+  Table ablation({"arm", "wall s", "events/s", "overhead", "tracer s",
+                  "dispatch s", "peak rss", "events recorded"});
+  for (const obs::JsonValue& arm : arms.items()) {
+    const double wall = arm["wall_seconds"].as_number();
+    const std::string overhead =
+        arm["name"].as_string() == "off" || off_wall <= 0
+            ? "-"
+            : Table::num((wall - off_wall) / off_wall * 100.0, 1) + "%";
+    ablation.add_row(
+        {arm["name"].as_string(), Table::num(wall, 3),
+         Table::num(arm["events_per_sec"].as_number(), 0), overhead,
+         Table::num(arm["phases"]["tracer"].as_number(), 3),
+         Table::num(arm["phases"]["dispatch"].as_number(), 3),
+         format_bytes(arm["peak_rss_bytes"].as_number()),
+         Table::num(arm["trace"]["recorded"].as_number(), 0)});
+  }
+  os << ablation.to_string();
+  return os.str();
+}
+
 }  // namespace
 
 Result<Bytes> parse_size(const std::string& text) {
@@ -252,7 +311,8 @@ std::string repo_cli_usage() {
          "  download <repo> <blob> <version> <file>\n"
          "  clone <repo> <blob> <version>\n"
          "  patch <repo> <blob> <offset> <file>\n"
-         "  critpath <trace.jsonl>\n";
+         "  critpath <trace.jsonl>\n"
+         "  engine-stats <BENCH_engine.json>\n";
 }
 
 Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
@@ -265,6 +325,7 @@ Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
   if (parsed.command == "clone") return cmd_clone(parsed);
   if (parsed.command == "patch") return cmd_patch(parsed);
   if (parsed.command == "critpath") return cmd_critpath(parsed);
+  if (parsed.command == "engine-stats") return cmd_engine_stats(parsed);
   return invalid_argument("unknown command '" + parsed.command + "'\n" +
                           repo_cli_usage());
 }

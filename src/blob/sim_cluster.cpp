@@ -60,7 +60,7 @@ sim::Task<void> SimCluster::fetch(net::NodeId client, ChunkLocation loc,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double start = engine_->now_seconds();
@@ -86,7 +86,7 @@ sim::Task<void> SimCluster::push_chunk(net::NodeId client, ProviderId provider,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double start = engine_->now_seconds();
@@ -114,7 +114,7 @@ sim::Task<Version> SimCluster::commit(net::NodeId client, BlobId blob,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double commit_start = engine_->now_seconds();
@@ -175,7 +175,7 @@ sim::Task<BlobId> SimCluster::clone(net::NodeId client, BlobId blob,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double start = engine_->now_seconds();

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/selfprof.hpp"
 #include "sim/causal.hpp"
 #include "sim/sync.hpp"
 
@@ -27,6 +28,17 @@ Cloud::Cloud(CloudConfig cfg, Strategy strategy)
   engine_.set_recorder(&obs_);
   if (const char* env = std::getenv("VMSTORM_TRACE")) {
     if (std::strcmp(env, "0") != 0) obs_.trace.set_enabled(true);
+  }
+  // Trace-volume knobs. VMSTORM_TRACE_RING bounds the retained event count
+  // (ring overwrites the oldest past it); VMSTORM_TRACE_SAMPLE in [0,1]
+  // keeps that fraction of root span trees, seeded from cfg.seed so the
+  // decision is reproducible per seed.
+  if (const char* env = std::getenv("VMSTORM_TRACE_RING")) {
+    const unsigned long long cap = std::strtoull(env, nullptr, 10);
+    if (cap > 0) obs_.trace.set_ring_capacity(static_cast<std::size_t>(cap));
+  }
+  if (const char* env = std::getenv("VMSTORM_TRACE_SAMPLE")) {
+    obs_.trace.set_sampling(std::strtod(env, nullptr), cfg_.seed);
   }
   build_testbed();
   upload_image();
@@ -209,7 +221,7 @@ sim::Task<void> Cloud::snapshot_one(Instance& inst, double started,
   const std::uint64_t parent = engine_.current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_.set_current_span(span);
   }
   switch (strategy_) {
@@ -456,6 +468,17 @@ void Cloud::collect_metrics() {
   reg.gauge("sim.live_tasks").set(as_d(engine_.live_tasks()));
   reg.gauge("sim.now_seconds").set(engine_.now_seconds());
 
+  // Engine self-telemetry: pure functions of seed and spawn order, so they
+  // belong with the deterministic gauges (same seed => same values).
+  reg.gauge("sim.events_scheduled").set(as_d(engine_.events_scheduled()));
+  reg.gauge("sim.queue_depth_high_water")
+      .set(as_d(engine_.queue_depth_high_water()));
+  reg.gauge("sim.wait_records_created")
+      .set(as_d(engine_.wait_records_created()));
+  reg.gauge("sim.wait_records_live").set(as_d(engine_.wait_records_live()));
+  reg.gauge("sim.wait_records_live_high_water")
+      .set(as_d(engine_.wait_records_live_high_water()));
+
   reg.gauge("net.total_traffic_bytes").set(as_d(network_->total_traffic()));
   reg.gauge("net.payload_bytes").set(as_d(network_->total_payload()));
   reg.gauge("net.messages").set(as_d(network_->total_messages()));
@@ -546,6 +569,34 @@ void Cloud::collect_metrics() {
   // instrumentation regressed somewhere.
   reg.gauge("trace.pairing_errors").set(as_d(obs_.trace.pairing_errors()));
   reg.gauge("trace.open_begins").set(as_d(obs_.trace.open_begins()));
+
+  // Trace volume accounting: what was recorded vs dropped, by cause. The
+  // ring/sampling decisions are deterministic (capacity + seed-derived),
+  // so these stay in the fingerprinted export too.
+  reg.gauge("trace.sampled").set(as_d(obs_.trace.recorded_total()));
+  reg.gauge("trace.dropped").set(as_d(obs_.trace.dropped_total()));
+  reg.gauge("trace.dropped_ring").set(as_d(obs_.trace.dropped_ring()));
+  reg.gauge("trace.dropped_sampling").set(as_d(obs_.trace.dropped_sampling()));
+  reg.gauge("trace.dropped_stray_end")
+      .set(as_d(obs_.trace.dropped_stray_end()));
+
+  // Host-side numbers (wall clock, RSS) vary run to run on the same seed;
+  // they live in the host scope, which to_json() never serializes.
+  if (const obs::SelfProfiler* prof = engine_.profiler()) {
+    const double wall = prof->run_seconds();
+    reg.host_gauge("engine.wall_seconds").set(wall);
+    reg.host_gauge("engine.events_per_sec")
+        .set(wall > 0 ? as_d(engine_.events_processed()) / wall : 0.0);
+    reg.host_gauge("engine.dispatch_seconds").set(prof->dispatch_seconds());
+    reg.host_gauge("engine.queue_ops_seconds")
+        .set(prof->seconds(obs::SelfProfiler::kQueueOps));
+    reg.host_gauge("engine.auditor_seconds")
+        .set(prof->seconds(obs::SelfProfiler::kAuditor));
+    reg.host_gauge("engine.tracer_seconds")
+        .set(prof->seconds(obs::SelfProfiler::kTracer));
+    reg.host_gauge("engine.user_work_seconds").set(prof->user_seconds());
+    reg.host_gauge("host.peak_rss_bytes").set(as_d(obs::peak_rss_bytes()));
+  }
 }
 
 std::string Cloud::metrics_json() {

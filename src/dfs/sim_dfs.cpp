@@ -36,7 +36,7 @@ sim::Task<void> SimDfs::read_piece(net::NodeId client, FileId file,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double start = engine_->now_seconds();
@@ -63,7 +63,7 @@ sim::Task<void> SimDfs::write_piece(net::NodeId client, FileId file,
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   const double start = engine_->now_seconds();

@@ -52,7 +52,7 @@ sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
   const std::uint64_t parent = engine_->current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
 
@@ -104,7 +104,7 @@ sim::Task<void> Network::small_rpc(NodeId client, NodeId server,
   std::uint64_t span = 0;
   const double start = engine_->now_seconds();
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine_->set_current_span(span);
   }
   co_await round_trip(client, server, request_bytes, response_bytes, noop());

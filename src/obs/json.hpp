@@ -10,9 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace vmstorm::obs {
 
@@ -60,5 +64,59 @@ class JsonWriter {
   std::vector<bool> first_;  // per open scope: no element emitted yet
   bool after_key_ = false;
 };
+
+/// Parsed JSON document node. The read-side complement of JsonWriter, used
+/// to load artifacts back (vmstormctl engine-stats over BENCH_engine.json).
+/// Object members keep source order; lookup is linear — artifacts are small.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors return the natural zero value on kind mismatch, so
+  /// renderers can chase optional paths without branching at every level.
+  bool as_bool() const { return is_bool() && flag_; }
+  double as_number() const { return is_number() ? number_ : 0.0; }
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const Members& members() const;
+
+  /// Object member by key, nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Chained find: find(k) with a null-object fallback, so
+  /// v["overhead"]["arms"] never dereferences null.
+  const JsonValue& operator[](std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(Members members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool flag_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::shared_ptr<Members> members_;  // shared_ptr: JsonValue stays copyable
+                                      // without recursive value layout issues
+};
+
+/// Strict recursive-descent parse of a complete JSON document (no trailing
+/// garbage, no comments, bounded nesting depth).
+Result<JsonValue> parse_json(std::string_view text);
 
 }  // namespace vmstorm::obs

@@ -1,8 +1,24 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+
 #include "obs/json.hpp"
+#include "obs/selfprof.hpp"
 
 namespace vmstorm::obs {
+
+namespace {
+
+/// splitmix64 finalizer: the sampling decision must be a high-quality pure
+/// function of (seed, span id) so consecutive ids don't correlate.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 TraceArg TraceArg::str(std::string key, std::string value) {
   TraceArg a;
@@ -28,20 +44,84 @@ TraceArg TraceArg::num(std::string key, double value) {
   return a;
 }
 
-void Tracer::push(double ts, double dur, char phase, std::uint32_t lane,
-                  std::string_view cat, std::string_view name,
-                  std::vector<TraceArg> args) {
-  TraceEvent ev;
+void Tracer::grow_ring() {
+  // Amortized doubling toward the cap, without push_back/reserve: the ring
+  // is on the engine's hot path, where vmlint's hot-path-alloc rule keeps
+  // per-event allocation calls out. Slot construction + move + swap is the
+  // sanctioned growth idiom (O(1) amortized, zero steady-state allocation).
+  std::size_t next = ring_.empty() ? 64 : ring_.size() * 2;
+  if (next > capacity_) next = capacity_;
+  std::vector<TraceEvent> bigger(next);
+  std::move(ring_.begin(), ring_.end(), bigger.begin());
+  ring_.swap(bigger);
+}
+
+TraceEvent& Tracer::push(double ts, double dur, char phase, std::uint32_t lane,
+                         std::string_view cat, std::string_view name,
+                         std::vector<TraceArg> args) {
+  const double t0 = profiler_ != nullptr ? SelfProfiler::wall_now() : 0.0;
+  const std::size_t slot = static_cast<std::size_t>(count_ % capacity_);
+  if (slot >= ring_.size()) grow_ring();
+  if (count_ >= capacity_) ++dropped_ring_;  // overwriting the oldest event
+  TraceEvent& ev = ring_[slot];
   ev.ts = ts;
   ev.dur = dur;
   ev.phase = phase;
   ev.lane = lane;
+  ev.id = 0;
+  ev.parent = 0;
+  ev.span = 0;
   ev.cat = cat;
   ev.name = name;
   ev.args = std::move(args);
-  // vmlint:allow(hot-path-alloc) amortized event log growth; the ROADMAP
-  // ring-buffer tracer replaces this with a fixed-capacity ring.
-  events_.push_back(std::move(ev));
+  ++count_;
+  if (profiler_ != nullptr) {
+    profiler_->charge(SelfProfiler::kTracer, SelfProfiler::wall_now() - t0);
+  }
+  return ev;
+}
+
+SpanId Tracer::new_span(SpanId parent) {
+  const SpanId id = ++last_id_;
+  if (sampling_active_) {
+    ensure_sampled_slot(id);
+    const bool keep =
+        parent == 0
+            ? (static_cast<double>(mix64(sample_seed_ ^ id) >> 11) *
+               0x1.0p-53) < sample_rate_
+            : span_sampled(parent);
+    sampled_bits_[id] = keep ? 1 : 0;
+  }
+  return id;
+}
+
+void Tracer::ensure_sampled_slot(SpanId id) {
+  if (id < sampled_bits_.size()) return;
+  std::size_t next = sampled_bits_.empty() ? 1024 : sampled_bits_.size();
+  while (next <= id) next *= 2;
+  // Same growth idiom as the ring (new_span is hot via flow_begin). Absent
+  // ids default to "kept", matching span_sampled().
+  std::vector<std::uint8_t> bigger(next, 1);
+  std::copy(sampled_bits_.begin(), sampled_bits_.end(), bigger.begin());
+  sampled_bits_.swap(bigger);
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  count_ = 0;
+  dropped_ring_ = 0;
+  std::vector<TraceEvent> empty;
+  ring_.swap(empty);
+}
+
+void Tracer::set_sampling(double rate, std::uint64_t seed) {
+  sample_rate_ = std::clamp(rate, 0.0, 1.0);
+  sample_seed_ = seed;
+  sampling_active_ = sample_rate_ < 1.0;
+  if (!sampling_active_) {
+    std::vector<std::uint8_t> empty;
+    sampled_bits_.swap(empty);
+  }
 }
 
 void Tracer::complete(double ts, double dur, std::uint32_t lane,
@@ -56,17 +136,25 @@ void Tracer::complete_span(double ts, double dur, std::uint32_t lane,
                            SpanId id, SpanId parent,
                            std::vector<TraceArg> args) {
   if (!enabled_) return;
-  push(ts, dur, 'X', lane, cat, name, std::move(args));
-  events_.back().id = id;
-  events_.back().parent = parent;
+  if (!span_sampled(id)) {
+    ++dropped_sampling_;
+    return;
+  }
+  TraceEvent& ev = push(ts, dur, 'X', lane, cat, name, std::move(args));
+  ev.id = id;
+  ev.parent = parent;
 }
 
 void Tracer::complete_in(double ts, double dur, std::uint32_t lane,
                          std::string_view cat, std::string_view name,
                          SpanId span, std::vector<TraceArg> args) {
   if (!enabled_) return;
-  push(ts, dur, 'X', lane, cat, name, std::move(args));
-  events_.back().span = span;
+  if (span != 0 && !span_sampled(span)) {
+    ++dropped_sampling_;
+    return;
+  }
+  TraceEvent& ev = push(ts, dur, 'X', lane, cat, name, std::move(args));
+  ev.span = span;
 }
 
 void Tracer::begin(double ts, std::uint32_t lane, std::string_view cat,
@@ -82,7 +170,8 @@ void Tracer::end(double ts, std::uint32_t lane, std::string_view cat,
   auto it = begin_depth_.find(lane);
   if (it == begin_depth_.end() || it->second == 0) {
     // Unbalanced end: emitting it would produce a malformed Chrome trace, so
-    // count the error and drop the event. Surfaced as trace.pairing_errors.
+    // count the error and drop the event. Surfaced as trace.dropped_stray_end
+    // (and the legacy trace.pairing_errors gauge).
     ++pairing_errors_;
     return;
   }
@@ -96,20 +185,24 @@ void Tracer::instant(double ts, std::uint32_t lane, std::string_view cat,
   push(ts, -1, 'i', lane, cat, name, std::move(args));
 }
 
-SpanId Tracer::flow_begin(double ts, std::uint32_t lane,
-                          std::string_view name) {
+SpanId Tracer::flow_begin(double ts, std::uint32_t lane, std::string_view name,
+                          SpanId owner_span) {
   if (!enabled_) return 0;
-  const SpanId id = new_span();
-  push(ts, -1, 's', lane, "flow", name, {});
-  events_.back().id = id;
+  if (owner_span != 0 && !span_sampled(owner_span)) {
+    // The waiter's span tree is sampled out; both arrow halves vanish with
+    // it (flow_end(0) is a no-op), keeping the export self-consistent.
+    ++dropped_sampling_;
+    return 0;
+  }
+  const SpanId id = new_span(owner_span);
+  push(ts, -1, 's', lane, "flow", name, {}).id = id;
   return id;
 }
 
 void Tracer::flow_end(double ts, std::uint32_t lane, std::string_view name,
                       SpanId id) {
   if (!enabled_ || id == 0) return;
-  push(ts, -1, 'f', lane, "flow", name, {});
-  events_.back().id = id;
+  push(ts, -1, 'f', lane, "flow", name, {}).id = id;
 }
 
 std::uint64_t Tracer::open_begins() const {
@@ -119,10 +212,23 @@ std::uint64_t Tracer::open_begins() const {
 }
 
 void Tracer::clear() {
-  events_.clear();
+  std::vector<TraceEvent> empty;
+  ring_.swap(empty);
+  count_ = 0;
+  dropped_ring_ = 0;
+  dropped_sampling_ = 0;
+  std::vector<std::uint8_t> no_bits;
+  sampled_bits_.swap(no_bits);
   begin_depth_.clear();
   pairing_errors_ = 0;
   last_id_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out(size());
+  std::size_t i = 0;
+  for_each_retained([&](const TraceEvent& ev) { out[i++] = ev; });
+  return out;
 }
 
 namespace {
@@ -167,12 +273,12 @@ void write_event(JsonWriter& w, const TraceEvent& ev, bool chrome) {
 
 std::string Tracer::jsonl() const {
   std::string out;
-  for (const TraceEvent& ev : events_) {
+  for_each_retained([&out](const TraceEvent& ev) {
     JsonWriter w;
     write_event(w, ev, /*chrome=*/false);
     out += w.str();
     out += '\n';
-  }
+  });
   return out;
 }
 
@@ -181,7 +287,8 @@ std::string Tracer::chrome_json() const {
   w.begin_object();
   w.key("displayTimeUnit").value("ms");
   w.key("traceEvents").begin_array();
-  for (const TraceEvent& ev : events_) write_event(w, ev, /*chrome=*/true);
+  for_each_retained(
+      [&w](const TraceEvent& ev) { write_event(w, ev, /*chrome=*/true); });
   w.end_array();
   w.end_object();
   return w.take();

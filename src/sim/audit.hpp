@@ -14,8 +14,8 @@
 // regression tests in tests/sim/fuzz_regressions_test.cpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -82,11 +82,25 @@ class InvariantAuditor final : public Auditor {
   /// Engine::run before the dead frame would be resumed.
   bool fail_fast = true;
 
+  /// Bound on retained violation messages. Past it, the newest message
+  /// overwrites the last slot (first kMaxViolations-1 plus the most recent
+  /// survive); violations_total() keeps the true count.
+  static constexpr std::size_t kMaxViolations = 64;
+
   void on_wakeup_scheduled(std::uint64_t seq,
                            std::shared_ptr<const WaitRecord> rec) override {
-    // vmlint:allow(hot-path-alloc) the auditor is installed only by fuzz and
-    // invariant tests, never on measured runs; bookkeeping cost is the point.
-    pending_.emplace(seq, std::move(rec));
+    // Open-addressed slot pool: steady-state inserts touch existing slots
+    // only, so the auditor adds no per-event allocation on the engine's hot
+    // path (growth uses the sanctioned construct+move+swap idiom).
+    if ((occupied_ + 1) * 2 > slots_.size()) rehash();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(seq) & mask;
+    while (slots_[i].state == PendingSlot::kUsed) i = (i + 1) & mask;
+    if (slots_[i].state != PendingSlot::kTombstone) ++occupied_;
+    slots_[i].seq = seq;
+    slots_[i].state = PendingSlot::kUsed;
+    slots_[i].rec = std::move(rec);
+    ++pending_count_;
   }
 
   void on_event(std::uint64_t seq, SimTime time, bool dropped) override {
@@ -97,10 +111,8 @@ class InvariantAuditor final : public Auditor {
            "ns");
     }
     last_time_ = time;
-    auto it = pending_.find(seq);
-    if (it == pending_.end()) return;  // plain event, no wait record to audit
-    std::shared_ptr<const WaitRecord> rec = std::move(it->second);
-    pending_.erase(it);
+    std::shared_ptr<const WaitRecord> rec;
+    if (!take(seq, rec)) return;  // plain event, no wait record to audit
     if (dropped) {
       ++dropped_wakeups_;
       if (rec->alive) {
@@ -115,22 +127,94 @@ class InvariantAuditor final : public Auditor {
 
   std::uint64_t events_seen() const { return events_seen_; }
   std::uint64_t dropped_wakeups() const { return dropped_wakeups_; }
-  std::size_t pending_wakeups() const { return pending_.size(); }
-  const std::vector<std::string>& violations() const { return violations_; }
+  std::size_t pending_wakeups() const { return pending_count_; }
 
- private:
-  void fail(std::string msg) {
-    // vmlint:allow(hot-path-alloc) invariant-violation path: the run is
-    // already failing, allocation cost is irrelevant.
-    violations_.push_back(std::move(msg));
-    if (fail_fast) throw InvariantViolation(violations_.back());
+  /// Violations raised so far, including any whose message was overwritten
+  /// once the retained buffer filled.
+  std::uint64_t violations_total() const { return violation_count_; }
+
+  /// Retained violation messages, oldest first (bounded by kMaxViolations).
+  std::vector<std::string> violations() const {
+    const std::size_t n = violation_count_ < kMaxViolations
+                              ? static_cast<std::size_t>(violation_count_)
+                              : kMaxViolations;
+    return std::vector<std::string>(violations_, violations_ + n);
   }
 
-  std::map<std::uint64_t, std::shared_ptr<const WaitRecord>> pending_;
+ private:
+  struct PendingSlot {
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kUsed = 1;
+    static constexpr std::uint8_t kTombstone = 2;
+    std::uint64_t seq = 0;
+    std::uint8_t state = kEmpty;
+    std::shared_ptr<const WaitRecord> rec;
+  };
+
+  /// splitmix64 finalizer — sequence numbers are consecutive, so identity
+  /// hashing would cluster linear probes.
+  static std::uint64_t hash(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Grows (power of two) and reinserts live entries, clearing tombstones.
+  void rehash() {
+    std::size_t next = slots_.empty() ? 64 : slots_.size();
+    while ((pending_count_ + 1) * 2 > next) next *= 2;
+    std::vector<PendingSlot> bigger(next);
+    const std::size_t mask = next - 1;
+    for (PendingSlot& s : slots_) {
+      if (s.state != PendingSlot::kUsed) continue;
+      std::size_t i = hash(s.seq) & mask;
+      while (bigger[i].state == PendingSlot::kUsed) i = (i + 1) & mask;
+      bigger[i].seq = s.seq;
+      bigger[i].state = PendingSlot::kUsed;
+      bigger[i].rec = std::move(s.rec);
+    }
+    slots_.swap(bigger);
+    occupied_ = pending_count_;
+  }
+
+  /// Removes seq's record into `out`; leaves a tombstone so later probe
+  /// chains stay intact. False when seq was never a guarded wakeup.
+  bool take(std::uint64_t seq, std::shared_ptr<const WaitRecord>& out) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(seq) & mask;
+    while (slots_[i].state != PendingSlot::kEmpty) {
+      if (slots_[i].state == PendingSlot::kUsed && slots_[i].seq == seq) {
+        out = std::move(slots_[i].rec);
+        slots_[i].rec = nullptr;
+        slots_[i].state = PendingSlot::kTombstone;
+        --pending_count_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  void fail(std::string msg) {
+    const std::size_t slot =
+        violation_count_ < kMaxViolations
+            ? static_cast<std::size_t>(violation_count_)
+            : kMaxViolations - 1;
+    violations_[slot] = std::move(msg);
+    ++violation_count_;
+    if (fail_fast) throw InvariantViolation(violations_[slot]);
+  }
+
+  std::vector<PendingSlot> slots_;
+  std::size_t occupied_ = 0;       ///< used + tombstone slots
+  std::size_t pending_count_ = 0;  ///< used slots only
   SimTime last_time_ = 0;
   std::uint64_t events_seen_ = 0;
   std::uint64_t dropped_wakeups_ = 0;
-  std::vector<std::string> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::string violations_[kMaxViolations];
 };
 
 }  // namespace vmstorm::sim

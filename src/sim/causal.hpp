@@ -35,6 +35,7 @@ inline std::shared_ptr<WaitRecord> make_wait_record(Engine& engine,
   // vmlint:allow(hot-path-alloc) one shared WaitRecord per wait; the
   // ROADMAP pooled-WaitRecord refactor is measured by deleting this escape.
   auto rec = std::make_shared<WaitRecord>();
+  engine.track_wait_record(*rec);
   rec->handle = h;
   rec->span = engine.current_span();
   rec->wait_since = engine.now_seconds();
@@ -49,7 +50,9 @@ inline void wake_waiter(Engine& engine, const std::shared_ptr<WaitRecord>& rec) 
   rec->waker_span = engine.current_span();
   if (obs::Tracer* tr = live_tracer(engine)) {
     if (rec->waker_span != rec->span) {
-      rec->flow = tr->flow_begin(engine.now_seconds(), 0, "wake");
+      // The arrow belongs to the waiter's span tree: under sampling it is
+      // kept or dropped with the waiter, never half-recorded.
+      rec->flow = tr->flow_begin(engine.now_seconds(), 0, "wake", rec->span);
     }
   }
   const std::uint64_t seq =

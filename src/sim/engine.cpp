@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/selfprof.hpp"
 #include "sim/audit.hpp"
 #include "sim/causal.hpp"
 
@@ -84,6 +85,7 @@ std::uint64_t Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
   // vmlint:allow(hot-path-alloc) binary-heap growth on the event spine; the
   // ROADMAP calendar-queue refactor replaces this queue and its escape.
   queue_.push(Event{t, seq, h, std::move(alive), span});
+  if (queue_.size() > queue_depth_hw_) queue_depth_hw_ = queue_.size();
   return seq;
 }
 
@@ -94,6 +96,7 @@ void Engine::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
   // vmlint:allow(hot-path-alloc) one WaitRecord per sleep; deleted by the
   // ROADMAP pooled-WaitRecord refactor together with causal.hpp's escape.
   rec = std::make_shared<WaitRecord>();
+  engine->track_wait_record(*rec);
   rec->handle = h;
   rec->span = engine->current_span();
   rec->wait_since = engine->now_seconds();
@@ -120,15 +123,32 @@ std::uint64_t Engine::run(SimTime until) {
   // The caller's span context is restored on exit so nested run() calls (and
   // phase code that set a span around the loop) see their own span again.
   const std::uint64_t outer_span = current_span_;
+  // Only the outermost run() profiles; a nested run() (a component driving
+  // the loop re-entrantly from inside a resumption) is already inside the
+  // outer call's kResume bucket and would double-charge every phase.
+  obs::SelfProfiler* const prof = run_depth_ == 0 ? profiler_ : nullptr;
+  ++run_depth_;
+  const double run_t0 =
+      prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
   std::uint64_t n = 0;
+  bool until_reached = false;
   while (!queue_.empty()) {
+    double t0 = prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
     Event ev = queue_.top();
     if (until >= 0 && ev.time > until) {
+      if (prof != nullptr) {
+        prof->charge(obs::SelfProfiler::kQueueOps,
+                     obs::SelfProfiler::wall_now() - t0);
+      }
       now_ = until;
-      current_span_ = outer_span;
-      return n;
+      until_reached = true;
+      break;
     }
     queue_.pop();
+    if (prof != nullptr) {
+      prof->charge(obs::SelfProfiler::kQueueOps,
+                   obs::SelfProfiler::wall_now() - t0);
+    }
     assert(ev.time >= now_);
     if (ev.alive && !*ev.alive) {
       // The waiter was destroyed after this wakeup was queued; resuming the
@@ -136,18 +156,41 @@ std::uint64_t Engine::run(SimTime until) {
       // simulated time past it (time still moves to ev.time for ordering).
       now_ = ev.time;
       ++cancelled_wakeups_;
-      if (auditor_) auditor_->on_event(ev.seq, ev.time, /*dropped=*/true);
+      if (auditor_ != nullptr) {
+        t0 = prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
+        auditor_->on_event(ev.seq, ev.time, /*dropped=*/true);
+        if (prof != nullptr) {
+          prof->charge(obs::SelfProfiler::kAuditor,
+                       obs::SelfProfiler::wall_now() - t0);
+        }
+      }
       continue;
     }
     now_ = ev.time;
-    if (auditor_) auditor_->on_event(ev.seq, ev.time, /*dropped=*/false);
+    if (auditor_ != nullptr) {
+      t0 = prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
+      auditor_->on_event(ev.seq, ev.time, /*dropped=*/false);
+      if (prof != nullptr) {
+        prof->charge(obs::SelfProfiler::kAuditor,
+                     obs::SelfProfiler::wall_now() - t0);
+      }
+    }
     current_span_ = ev.span;
     ++n;
     ++events_processed_;
+    t0 = prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
     ev.handle.resume();
+    if (prof != nullptr) {
+      prof->charge(obs::SelfProfiler::kResume,
+                   obs::SelfProfiler::wall_now() - t0);
+    }
   }
   current_span_ = outer_span;
-  if (live_tasks_ > 0) {
+  --run_depth_;
+  if (prof != nullptr) {
+    prof->charge_run(obs::SelfProfiler::wall_now() - run_t0);
+  }
+  if (!until_reached && live_tasks_ > 0) {
     VMSTORM_CLOG(kWarn, "sim") << "event queue drained with " << live_tasks_
                                << " live task(s) still blocked";
   }

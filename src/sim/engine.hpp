@@ -22,6 +22,7 @@
 
 namespace vmstorm::obs {
 struct Recorder;
+class SelfProfiler;
 }  // namespace vmstorm::obs
 
 namespace vmstorm::sim {
@@ -43,6 +44,17 @@ struct WaitRecord {
   std::uint64_t waker_span = 0;  ///< span that released us (wait-edge holder)
   std::uint64_t flow = 0;        ///< open Chrome flow arrow id (0 = none)
   double wait_since = 0;         ///< simulated seconds at suspension
+  /// Engine's live-record gauge, decremented on destruction (see
+  /// Engine::track_wait_record). The engine outlives every component that
+  /// can hold a record, so the pointer cannot dangle.
+  std::uint64_t* live_counter = nullptr;
+
+  WaitRecord() = default;
+  WaitRecord(const WaitRecord&) = delete;
+  WaitRecord& operator=(const WaitRecord&) = delete;
+  ~WaitRecord() {
+    if (live_counter != nullptr) --*live_counter;
+  }
 };
 
 /// Aliasing guard into a WaitRecord's `alive` flag, suitable for passing to
@@ -142,6 +154,41 @@ class Engine {
   /// Queued wakeups dropped because their waiter was destroyed first.
   std::uint64_t cancelled_wakeups() const { return cancelled_wakeups_; }
 
+  // ---- Engine self-telemetry ---------------------------------------------
+  // All counters below are functions of the seed and spawn order only (no
+  // wall clock), so exporting them keeps same-seed byte-identity.
+
+  /// Events ever enqueued (== the next sequence number).
+  std::uint64_t events_scheduled() const { return next_seq_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// High-water mark of the event heap's depth.
+  std::size_t queue_depth_high_water() const { return queue_depth_hw_; }
+
+  std::uint64_t wait_records_created() const { return wait_records_created_; }
+  std::uint64_t wait_records_live() const { return wait_records_live_; }
+  std::uint64_t wait_records_live_high_water() const {
+    return wait_records_live_hw_;
+  }
+
+  /// Registers a freshly made WaitRecord with the live-record gauge: counts
+  /// it and points its destructor back at the counter. Called by the two
+  /// record construction sites (sim/causal.hpp make_wait_record, the sleep
+  /// awaiter).
+  void track_wait_record(WaitRecord& rec) {
+    ++wait_records_created_;
+    ++wait_records_live_;
+    if (wait_records_live_ > wait_records_live_hw_) {
+      wait_records_live_hw_ = wait_records_live_;
+    }
+    rec.live_counter = &wait_records_live_;
+  }
+
+  /// Host-side self-profiling attachment point (obs/selfprof.hpp). Null
+  /// (the default) keeps the run loop free of wall-clock reads; attached,
+  /// the outermost run() tiles its wall time into the profiler's phases.
+  obs::SelfProfiler* profiler() const { return profiler_; }
+  void set_profiler(obs::SelfProfiler* profiler) { profiler_ = profiler; }
+
   /// Observability attachment point. The engine itself only carries the
   /// pointer; instrumented components (and the causal-tracing hooks in
   /// sim/causal.hpp) reach their Recorder through here. Null (the default)
@@ -196,8 +243,16 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t cancelled_wakeups_ = 0;
   std::size_t live_tasks_ = 0;
+  std::size_t queue_depth_hw_ = 0;
+  std::uint64_t wait_records_created_ = 0;
+  // Declared before queue_: records guarded by queued events decrement this
+  // from ~Event during ~queue_, so it must still be alive then.
+  std::uint64_t wait_records_live_ = 0;
+  std::uint64_t wait_records_live_hw_ = 0;
+  int run_depth_ = 0;  ///< only the outermost run() accumulates profile time
   obs::Recorder* recorder_ = nullptr;
   Auditor* auditor_ = nullptr;
+  obs::SelfProfiler* profiler_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

@@ -15,7 +15,7 @@ sim::Task<void> run_boot(sim::Engine& engine, VmDisk& disk,
   const std::uint64_t parent = engine.current_span();
   std::uint64_t span = 0;
   if (tr) {
-    span = tr->new_span();
+    span = tr->new_span(parent);
     engine.set_current_span(span);
   }
   for (const BootOp& op : trace.ops()) {

@@ -120,5 +120,69 @@ TEST(CliInit, DedupAndReplicationFlags) {
   std::remove(repo.c_str());
 }
 
+std::string write_engine_artifact(const std::string& schema) {
+  const std::string path = ::testing::TempDir() + "/cli_bench_engine_" +
+                           std::to_string(::getpid()) + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const char* arms[] = {"off", "sampled", "full"};
+  out << R"({"schema":")" << schema << R"(","name":"engine",)"
+      << R"("title":"engine self-telemetry","quick":true,)"
+      << R"("config":{"instances":256,"seed":2011,)"
+      << R"("fingerprint":"0123456789abcdef"},)"
+      << R"("sim":{"events_processed":10000,"events_scheduled":10400,)"
+      << R"("queue_depth_high_water":512,"wait_records_created":4000,)"
+      << R"("wait_records_live_high_water":256,"cancelled_wakeups":3,)"
+      << R"("trace":{"recorded":9000,"dropped_ring":100,)"
+      << R"("dropped_sampling":0,"dropped_stray_end":0}},)"
+      << R"("overhead":{"arms":[)";
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) out << ",";
+    out << R"({"name":")" << arms[i] << R"(","wall_seconds":)" << 1.0 + i * 0.25
+        << R"(,"events_per_sec":)" << 10000.0 / (1.0 + i * 0.25)
+        << R"(,"peak_rss_bytes":1048576,)"
+        << R"("trace":{"recorded":)" << i * 4500
+        << R"(,"dropped_ring":0,"dropped_sampling":0,"dropped_stray_end":0},)"
+        << R"("phases":{"queue_ops":0.2,"auditor":0.1,"resume":0.5,)"
+        << R"("tracer":)" << i * 0.1
+        << R"(,"dispatch":0.2,"user_work":0.4}})";
+  }
+  out << "]}}\n";
+  return path;
+}
+
+TEST(CliEngineStats, RendersCountersAndAblation) {
+  const std::string path = write_engine_artifact("vmstorm-engine-v1");
+  auto r = run_repo_cli({"engine-stats", path});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  // Header carries title, mode, and the config fingerprint.
+  EXPECT_NE(r->find("engine self-telemetry"), std::string::npos);
+  EXPECT_NE(r->find("quick mode"), std::string::npos);
+  EXPECT_NE(r->find("0123456789abcdef"), std::string::npos);
+  // Deterministic counters table.
+  EXPECT_NE(r->find("events_processed"), std::string::npos);
+  EXPECT_NE(r->find("trace.recorded"), std::string::npos);
+  // Ablation table: all three arms, overhead relative to "off".
+  EXPECT_NE(r->find("off"), std::string::npos);
+  EXPECT_NE(r->find("sampled"), std::string::npos);
+  EXPECT_NE(r->find("full"), std::string::npos);
+  EXPECT_NE(r->find("50"), std::string::npos);  // full: (1.5-1.0)/1.0 = 50%
+  std::remove(path.c_str());
+}
+
+TEST(CliEngineStats, RejectsWrongSchemaAndMissingFile) {
+  const std::string path = write_engine_artifact("vmstorm-bench-v2");
+  auto r = run_repo_cli({"engine-stats", path});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().to_string().find("vmstorm-engine-v1"),
+            std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(run_repo_cli({"engine-stats", "/nonexistent.json"}).is_ok());
+  // Unparseable JSON is a clean error, not a crash.
+  const std::string bad = ::testing::TempDir() + "/cli_bench_bad.json";
+  std::ofstream(bad) << "{not json";
+  EXPECT_FALSE(run_repo_cli({"engine-stats", bad}).is_ok());
+  std::remove(bad.c_str());
+}
+
 }  // namespace
 }  // namespace vmstorm::apps

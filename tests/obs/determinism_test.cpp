@@ -10,6 +10,7 @@
 
 #include "cloud/cloud.hpp"
 #include "obs/critpath.hpp"
+#include "obs/selfprof.hpp"
 
 namespace vmstorm::cloud {
 namespace {
@@ -142,6 +143,91 @@ TEST(ObsDeterminism, TracingOffByDefaultAndCheap) {
   // Metrics are always on.
   EXPECT_NE(cloud.metrics_json().find("net.total_traffic_bytes"),
             std::string::npos);
+}
+
+RunOutput deploy_and_snapshot_with_telemetry() {
+  const CloudConfig cfg = small_config();
+  Cloud cloud(cfg, Strategy::kOurs);
+  cloud.obs().trace.set_enabled(true);
+  // Full telemetry stack: bounded ring, seeded sampling, host profiler.
+  cloud.obs().trace.set_ring_capacity(std::size_t{1} << 12);
+  cloud.obs().trace.set_sampling(0.25, cfg.seed);
+  obs::SelfProfiler prof;
+  cloud.engine().set_profiler(&prof);
+  cloud.obs().trace.set_profiler(&prof);
+  cloud.multideploy(4, small_trace());
+  EXPECT_TRUE(cloud.multisnapshot().is_ok());
+  EXPECT_GT(prof.run_seconds(), 0.0);
+  cloud.engine().set_profiler(nullptr);
+  cloud.obs().trace.set_profiler(nullptr);
+  RunOutput out;
+  out.metrics = cloud.metrics_json();
+  out.trace = cloud.trace_chrome_json();
+  out.jsonl = cloud.trace_jsonl();
+  out.pairing_errors = cloud.obs().trace.pairing_errors();
+  return out;
+}
+
+TEST(ObsDeterminism, TelemetryEnabledRunsStayByteIdentical) {
+  const RunOutput a = deploy_and_snapshot_with_telemetry();
+  const RunOutput b = deploy_and_snapshot_with_telemetry();
+  // The ISSUE-level contract: ring, sampling, and the host profiler are
+  // invisible to the seed-deterministic exports.
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_FALSE(a.jsonl.empty());
+  // Host-time numbers must not leak into the fingerprinted snapshot.
+  EXPECT_EQ(a.metrics.find("engine.wall_seconds"), std::string::npos);
+  EXPECT_EQ(a.metrics.find("host.peak_rss_bytes"), std::string::npos);
+  // The telemetry counters themselves are part of the deterministic export.
+  for (const char* key :
+       {"\"sim.events_scheduled\"", "\"sim.queue_depth_high_water\"",
+        "\"sim.wait_records_created\"", "\"sim.wait_records_live\"",
+        "\"sim.wait_records_live_high_water\"", "\"trace.sampled\"",
+        "\"trace.dropped\"", "\"trace.dropped_ring\"",
+        "\"trace.dropped_sampling\"", "\"trace.dropped_stray_end\""}) {
+    EXPECT_NE(a.metrics.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ObsDeterminism, SampledTraceIsSubsetOfFull) {
+  const RunOutput sampled = deploy_and_snapshot_with_telemetry();
+  const RunOutput full = deploy_and_snapshot(Strategy::kOurs);
+  // Span ids are allocated whether or not a tree is kept, so every line of
+  // the sampled export appears verbatim in the full export.
+  std::size_t checked = 0;
+  std::size_t pos = 0;
+  while (pos < sampled.jsonl.size()) {
+    std::size_t nl = sampled.jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = sampled.jsonl.size();
+    const std::string line = sampled.jsonl.substr(pos, nl - pos);
+    if (!line.empty()) {
+      EXPECT_NE(full.jsonl.find(line), std::string::npos) << line;
+      ++checked;
+    }
+    pos = nl + 1;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_LT(sampled.jsonl.size(), full.jsonl.size());
+}
+
+TEST(ObsDeterminism, HostGaugesExportSeparately) {
+  Cloud cloud(small_config(), Strategy::kOurs);
+  obs::SelfProfiler prof;
+  cloud.engine().set_profiler(&prof);
+  cloud.multideploy(4, small_trace());
+  const std::string metrics = cloud.metrics_json();
+  const std::string host = cloud.obs().metrics.host_json();
+  // Deterministic snapshot and host-side overhead live in disjoint scopes.
+  EXPECT_EQ(metrics.find("engine.wall_seconds"), std::string::npos);
+  for (const char* key :
+       {"\"engine.wall_seconds\"", "\"engine.events_per_sec\"",
+        "\"engine.dispatch_seconds\"", "\"engine.tracer_seconds\"",
+        "\"host.peak_rss_bytes\""}) {
+    EXPECT_NE(host.find(key), std::string::npos) << key;
+  }
+  cloud.engine().set_profiler(nullptr);
 }
 
 TEST(ObsDeterminism, CollectMetricsIsIdempotent) {

@@ -1,0 +1,122 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vmstorm::obs {
+namespace {
+
+TEST(JsonParse, ObjectWithEveryValueKind) {
+  auto r = parse_json(R"({"b":true,"f":false,"z":null,"n":-12.5,)"
+                      R"("s":"hi","a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const JsonValue& doc = *r;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc["b"].as_bool());
+  EXPECT_TRUE(doc["f"].is_bool());
+  EXPECT_FALSE(doc["f"].as_bool());
+  EXPECT_TRUE(doc["z"].is_null());
+  EXPECT_DOUBLE_EQ(doc["n"].as_number(), -12.5);
+  EXPECT_EQ(doc["s"].as_string(), "hi");
+  ASSERT_TRUE(doc["a"].is_array());
+  ASSERT_EQ(doc["a"].items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc["a"].items()[1].as_number(), 2.0);
+  EXPECT_EQ(doc["o"]["k"].as_string(), "v");
+  // Member order is source order.
+  ASSERT_EQ(doc.members().size(), 7u);
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[6].first, "o");
+}
+
+TEST(JsonParse, NumberForms) {
+  for (const auto& [text, want] :
+       {std::pair<const char*, double>{"0", 0.0},
+        {"-0.5", -0.5},
+        {"1e3", 1000.0},
+        {"2.5E-2", 0.025},
+        {"18446744073709551615", 18446744073709551615.0}}) {
+    auto r = parse_json(text);
+    ASSERT_TRUE(r.is_ok()) << text << ": " << r.status().to_string();
+    EXPECT_DOUBLE_EQ(r->as_number(), want) << text;
+  }
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto r = parse_json(R"("a\n\t\"\\\/Az")");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->as_string(), "a\n\t\"\\/Az");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad : {
+           "",                 // empty document
+           "{",                // unterminated object
+           "[1,]",             // trailing comma
+           "{\"a\":1} extra",  // trailing garbage
+           "'single'",         // wrong quotes
+           "nul",              // truncated literal
+           "\"unterminated",   // unterminated string
+           "{\"a\" 1}",        // missing colon
+           "NaN",              // not a JSON number
+       }) {
+    auto r = parse_json(bad);
+    EXPECT_FALSE(r.is_ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParse, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).is_ok());
+  std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(parse_json(shallow).is_ok());
+}
+
+TEST(JsonValue, AccessorsDefaultOnKindMismatch) {
+  auto r = parse_json(R"({"s":"text","n":3})");
+  ASSERT_TRUE(r.is_ok());
+  const JsonValue& doc = *r;
+  EXPECT_DOUBLE_EQ(doc["s"].as_number(), 0.0);
+  EXPECT_FALSE(doc["s"].as_bool());
+  EXPECT_EQ(doc["n"].as_string(), "");
+  EXPECT_TRUE(doc["n"].items().empty());
+  EXPECT_TRUE(doc["n"].members().empty());
+  // Missing keys chase to a null value instead of dereferencing nothing.
+  EXPECT_TRUE(doc["missing"].is_null());
+  EXPECT_TRUE(doc["missing"]["deeper"]["still"].is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  ASSERT_NE(doc.find("n"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("n")->as_number(), 3.0);
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("vmstorm-engine-v1");
+  w.key("quick").value(false);
+  w.key("sim").begin_object();
+  w.key("events_processed").value(std::uint64_t{123456});
+  w.end_object();
+  w.key("arms").begin_array();
+  w.begin_object();
+  w.key("name").value("off");
+  w.key("wall_seconds").value(1.25);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  auto r = parse_json(w.str());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const JsonValue& doc = *r;
+  EXPECT_EQ(doc["schema"].as_string(), "vmstorm-engine-v1");
+  EXPECT_TRUE(doc["quick"].is_bool());
+  EXPECT_FALSE(doc["quick"].as_bool());
+  EXPECT_DOUBLE_EQ(doc["sim"]["events_processed"].as_number(), 123456.0);
+  ASSERT_EQ(doc["arms"].items().size(), 1u);
+  EXPECT_EQ(doc["arms"].items()[0]["name"].as_string(), "off");
+  EXPECT_DOUBLE_EQ(doc["arms"].items()[0]["wall_seconds"].as_number(), 1.25);
+}
+
+}  // namespace
+}  // namespace vmstorm::obs

@@ -24,7 +24,8 @@ TEST(Tracer, RecordsEventsWhenEnabled) {
   t.end(3.5, 1, "vm", "boot");
   t.instant(4.0, 0, "cloud", "snapshot_start");
   ASSERT_EQ(t.size(), 4u);
-  const TraceEvent& e = t.events()[0];
+  const std::vector<TraceEvent> evs = t.events();
+  const TraceEvent& e = evs[0];
   EXPECT_EQ(e.phase, 'X');
   EXPECT_DOUBLE_EQ(e.ts, 1.0);
   EXPECT_DOUBLE_EQ(e.dur, 0.5);
@@ -32,9 +33,9 @@ TEST(Tracer, RecordsEventsWhenEnabled) {
   EXPECT_EQ(e.name, "transfer");
   ASSERT_EQ(e.args.size(), 2u);
   EXPECT_EQ(e.args[0].kind, TraceArg::Kind::kUint);
-  EXPECT_EQ(t.events()[1].phase, 'B');
-  EXPECT_EQ(t.events()[2].phase, 'E');
-  EXPECT_EQ(t.events()[3].phase, 'i');
+  EXPECT_EQ(evs[1].phase, 'B');
+  EXPECT_EQ(evs[2].phase, 'E');
+  EXPECT_EQ(evs[3].phase, 'i');
 }
 
 TEST(Tracer, JsonlOneObjectPerLine) {
@@ -89,12 +90,110 @@ TEST(Tracer, UnmatchedEndIsCountedAndDropped) {
   t.end(1.0, 0, "vm", "boot");
   EXPECT_EQ(t.size(), 0u);  // the stray 'E' never reaches the trace
   EXPECT_EQ(t.pairing_errors(), 1u);
+  // Stray ends are a drop cause with their own counter.
+  EXPECT_EQ(t.dropped_stray_end(), 1u);
+  EXPECT_EQ(t.dropped_total(), 1u);
+  EXPECT_EQ(t.dropped_ring(), 0u);
+  EXPECT_EQ(t.dropped_sampling(), 0u);
   // A proper pair on the same lane still works afterwards.
   t.begin(2.0, 0, "vm", "boot");
   t.end(3.0, 0, "vm", "boot");
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.pairing_errors(), 1u);
+  EXPECT_EQ(t.dropped_stray_end(), 1u);
+  EXPECT_EQ(t.recorded_total(), 2u);
   EXPECT_EQ(t.open_begins(), 0u);
+}
+
+TEST(Tracer, RingWrapKeepsNewestAndCountsDrops) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_ring_capacity(4);
+  EXPECT_EQ(t.ring_capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    t.instant(static_cast<double>(i), 0, "c", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded_total(), 10u);
+  EXPECT_EQ(t.dropped_ring(), 6u);
+  EXPECT_EQ(t.dropped_total(), 6u);
+  // The retained window is the newest 4 events, oldest first.
+  const std::vector<TraceEvent> evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(evs[i].ts, static_cast<double>(6 + i));
+    EXPECT_EQ(evs[i].name, "e" + std::to_string(6 + i));
+  }
+  // Exports see exactly the retained window.
+  std::size_t lines = 0;
+  for (char ch : t.jsonl()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Tracer, ClearPreservesRingAndSamplingConfig) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_ring_capacity(8);
+  t.set_sampling(0.5, 7);
+  t.instant(1.0, 0, "c", "x");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded_total(), 0u);
+  EXPECT_EQ(t.dropped_ring(), 0u);
+  EXPECT_EQ(t.dropped_sampling(), 0u);
+  EXPECT_EQ(t.dropped_stray_end(), 0u);
+  EXPECT_EQ(t.ring_capacity(), 8u);
+  EXPECT_TRUE(t.sampling_active());
+  EXPECT_DOUBLE_EQ(t.sample_rate(), 0.5);
+}
+
+void record_sampled_spans(Tracer& t, double rate) {
+  t.set_enabled(true);
+  t.set_sampling(rate, /*seed=*/2011);
+  for (int i = 0; i < 64; ++i) {
+    const SpanId root = t.new_span();
+    const SpanId child = t.new_span(root);
+    // Children inherit the root's keep/drop decision: whole trees sampled.
+    EXPECT_EQ(t.span_sampled(child), t.span_sampled(root));
+    const double ts = static_cast<double>(i);
+    t.complete_span(ts, 1.0, 0, "vm", "boot", root, 0);
+    t.complete_span(ts, 0.5, 0, "vm", "phase", child, root);
+  }
+}
+
+TEST(Tracer, SamplingIsDeterministicSeededSubset) {
+  Tracer a;
+  Tracer b;
+  record_sampled_spans(a, 0.25);
+  record_sampled_spans(b, 0.25);
+  // Pure function of (seed, span ids): same config, byte-identical export.
+  EXPECT_EQ(a.jsonl(), b.jsonl());
+  EXPECT_GT(a.recorded_total(), 0u);
+  EXPECT_GT(a.dropped_sampling(), 0u);
+  EXPECT_EQ(a.recorded_total() + a.dropped_sampling(), 128u);
+  EXPECT_EQ(a.dropped_total(), a.dropped_sampling());
+
+  // Ids are allocated whether or not the span is kept, so the sampled run
+  // records a strict, id-stable subset of the full run.
+  Tracer full;
+  record_sampled_spans(full, 1.0);
+  EXPECT_FALSE(full.sampling_active());
+  EXPECT_EQ(full.dropped_sampling(), 0u);
+  EXPECT_EQ(full.recorded_total(), 128u);
+  const std::vector<TraceEvent> all = full.events();
+  for (const TraceEvent& e : a.events()) {
+    bool found = false;
+    for (const TraceEvent& f : all) {
+      if (f.id == e.id && f.ts == e.ts && f.name == e.name) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "sampled event id " << e.id
+                       << " missing from the full stream";
+  }
 }
 
 TEST(Tracer, OpenBeginsTrackedPerLane) {

@@ -175,5 +175,31 @@ TEST(Engine, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Engine, TelemetryCountersTrackQueueAndWaitRecords) {
+  Engine e;
+  EXPECT_EQ(e.events_scheduled(), 0u);
+  EXPECT_EQ(e.wait_records_created(), 0u);
+  EXPECT_EQ(e.wait_records_live(), 0u);
+  std::vector<double> log;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn(sleeper(e, from_seconds(static_cast<double>(i + 1)), &log));
+  }
+  // 4 start events are queued before the loop runs.
+  EXPECT_EQ(e.queue_depth(), 4u);
+  e.run();
+  EXPECT_EQ(log.size(), 4u);
+  // 4 spawn-start events plus 4 sleep wakeups, all processed.
+  EXPECT_EQ(e.events_scheduled(), 8u);
+  EXPECT_EQ(e.events_processed(), 8u);
+  EXPECT_EQ(e.queue_depth(), 0u);
+  EXPECT_EQ(e.queue_depth_high_water(), 4u);
+  // One WaitRecord per sleep; all four were live at once (the sleeps
+  // overlap), and none survive the drained run.
+  EXPECT_EQ(e.wait_records_created(), 4u);
+  EXPECT_EQ(e.wait_records_live_high_water(), 4u);
+  EXPECT_EQ(e.wait_records_live(), 0u);
+  EXPECT_EQ(e.cancelled_wakeups(), 0u);
+}
+
 }  // namespace
 }  // namespace vmstorm::sim

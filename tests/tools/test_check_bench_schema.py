@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_schema.py, vmstorm-engine-v1 coverage.
+
+Builds artifact dicts in memory and runs them through check_report, so the
+closed enums (arms, phases, sim counters) and the sampled-vs-full tracer
+ordering are pinned down without any file fixtures.
+"""
+import copy
+import importlib.util
+import pathlib
+import sys
+import unittest
+
+TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / "check_bench_schema.py"
+spec = importlib.util.spec_from_file_location("check_bench_schema", TOOL)
+cbs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbs)
+
+
+def engine_arm(name, tracer):
+    return {
+        "name": name,
+        "wall_seconds": 1.5,
+        "events_per_sec": 80000.0,
+        "peak_rss_bytes": 1 << 20,
+        "trace": {"recorded": 100, "dropped_ring": 0,
+                  "dropped_sampling": 0, "dropped_stray_end": 0},
+        "phases": {"queue_ops": 0.2, "auditor": 0.1, "resume": 0.8,
+                   "tracer": tracer, "dispatch": 0.2, "user_work": 0.6},
+    }
+
+
+def engine_doc(quick=False):
+    return {
+        "schema": "vmstorm-engine-v1",
+        "name": "engine",
+        "title": "engine self-telemetry at scale",
+        "quick": quick,
+        "config": {"instances": 10240, "seed": 2011,
+                   "fingerprint": "0123456789abcdef"},
+        "sim": {
+            "events_processed": 1000000,
+            "events_scheduled": 1040000,
+            "queue_depth_high_water": 20480,
+            "wait_records_created": 400000,
+            "wait_records_live_high_water": 10240,
+            "cancelled_wakeups": 17,
+            "trace": {"recorded": 900000, "dropped_ring": 100000,
+                      "dropped_sampling": 0, "dropped_stray_end": 0},
+        },
+        "overhead": {
+            "arms": [engine_arm("off", 0.0), engine_arm("sampled", 0.05),
+                     engine_arm("full", 0.4)],
+        },
+    }
+
+
+def check(doc):
+    errors = []
+    cbs.check_report("test.json", errors, doc)
+    return errors
+
+
+class EngineSchemaTest(unittest.TestCase):
+    def test_valid_full_artifact_passes(self):
+        self.assertEqual(check(engine_doc()), [])
+
+    def test_valid_quick_artifact_passes(self):
+        self.assertEqual(check(engine_doc(quick=True)), [])
+
+    def test_unknown_schema_rejected(self):
+        doc = engine_doc()
+        doc["schema"] = "vmstorm-engine-v99"
+        self.assertTrue(check(doc))
+
+    def test_missing_overhead_rejected(self):
+        doc = engine_doc()
+        del doc["overhead"]
+        self.assertTrue(any("overhead" in e for e in check(doc)))
+
+    def test_arm_order_is_fixed(self):
+        doc = engine_doc()
+        arms = doc["overhead"]["arms"]
+        arms[0], arms[1] = arms[1], arms[0]
+        self.assertTrue(any("in order" in e for e in check(doc)))
+
+    def test_missing_arm_rejected(self):
+        doc = engine_doc()
+        doc["overhead"]["arms"] = doc["overhead"]["arms"][:2]
+        self.assertTrue(check(doc))
+
+    def test_negative_events_per_sec_rejected(self):
+        doc = engine_doc()
+        doc["overhead"]["arms"][0]["events_per_sec"] = -1.0
+        self.assertTrue(any("events_per_sec" in e for e in check(doc)))
+
+    def test_boolean_is_not_a_number(self):
+        doc = engine_doc()
+        doc["sim"]["events_processed"] = True
+        self.assertTrue(any("events_processed" in e for e in check(doc)))
+
+    def test_missing_sim_counter_rejected(self):
+        doc = engine_doc()
+        del doc["sim"]["wait_records_created"]
+        self.assertTrue(any("wait_records_created" in e for e in check(doc)))
+
+    def test_missing_trace_cause_rejected(self):
+        doc = engine_doc()
+        del doc["sim"]["trace"]["dropped_sampling"]
+        self.assertTrue(any("dropped_sampling" in e for e in check(doc)))
+
+    def test_phases_are_a_closed_enum(self):
+        extra = engine_doc()
+        extra["overhead"]["arms"][2]["phases"]["gc"] = 0.1
+        self.assertTrue(any("unknown phase" in e for e in check(extra)))
+        missing = engine_doc()
+        del missing["overhead"]["arms"][2]["phases"]["dispatch"]
+        self.assertTrue(any("missing phase" in e for e in check(missing)))
+
+    def test_bad_fingerprint_rejected(self):
+        doc = engine_doc()
+        doc["config"]["fingerprint"] = "xyz"
+        self.assertTrue(any("fingerprint" in e for e in check(doc)))
+
+    def test_sampling_must_pay_off_on_full_runs(self):
+        doc = engine_doc(quick=False)
+        doc["overhead"]["arms"][1]["phases"]["tracer"] = 0.4  # == full arm
+        self.assertTrue(any("strictly below" in e for e in check(doc)))
+
+    def test_quick_runs_skip_the_tracer_ordering(self):
+        doc = engine_doc(quick=True)
+        doc["overhead"]["arms"][1]["phases"]["tracer"] = 0.4
+        self.assertEqual(check(doc), [])
+
+    def test_bench_v2_panels_still_checked(self):
+        # The engine schema must not loosen the pre-existing figure schema.
+        doc = {"schema": "vmstorm-bench-v2", "name": "x", "figure": "4",
+               "title": "t", "quick": False,
+               "config": {"fingerprint": "0123456789abcdef"},
+               "panels": [], "metrics": None, "attribution": None}
+        self.assertTrue(any("panels" in e for e in check(doc)))
+
+    def test_independent_docs_do_not_share_state(self):
+        good = engine_doc()
+        bad = copy.deepcopy(good)
+        bad["overhead"]["arms"][0]["wall_seconds"] = float("nan")
+        self.assertTrue(check(bad))
+        self.assertEqual(check(good), [])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -8,6 +8,12 @@ Accepts both vmstorm-bench-v1 and vmstorm-bench-v2 artifacts. v2 adds the
 each row's bucket values must come from the closed bucket enum and sum to
 the row's total seconds within 1e-6.
 
+Also accepts vmstorm-engine-v1 (the bench_scale self-telemetry artifact):
+deterministic "sim" counters plus an "overhead" ablation with exactly the
+arms off/sampled/full, each tiling wall time into the closed phase enum.
+On full-mode artifacts (quick == false) the sampled arm's tracer time must
+be strictly below the full arm's — the point of sampling.
+
 Directories are scanned for BENCH_*.json. Exits non-zero and prints one
 line per violation if any artifact is malformed. Pure stdlib — no
 third-party schema library required.
@@ -17,11 +23,22 @@ import pathlib
 import sys
 
 SCHEMAS = ("vmstorm-bench-v1", "vmstorm-bench-v2")
+ENGINE_SCHEMA = "vmstorm-engine-v1"
 
 # Closed enum: the analyzer's CritBucket names, in emission order.
 BUCKETS = ("boot_init", "compute", "local_disk", "metadata",
            "net_transfer", "queue_wait", "repo_disk")
 SUM_TOLERANCE = 1e-6
+
+# Closed enums for vmstorm-engine-v1.
+ENGINE_ARMS = ("off", "sampled", "full")
+ENGINE_PHASES = ("queue_ops", "auditor", "resume", "tracer", "dispatch",
+                 "user_work")
+ENGINE_SIM_KEYS = ("events_processed", "events_scheduled",
+                   "queue_depth_high_water", "wait_records_created",
+                   "wait_records_live_high_water", "cancelled_wakeups")
+ENGINE_TRACE_KEYS = ("recorded", "dropped_ring", "dropped_sampling",
+                     "dropped_stray_end")
 
 
 def fail(path, errors, msg):
@@ -100,10 +117,102 @@ def check_attribution(path, errors, attr):
         fail(path, errors, "attribution.summary must be an object")
 
 
+def _number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _nonneg(v):
+    return _number(v) and v >= 0 and v == v and v not in (float("inf"),)
+
+
+def check_fingerprint(path, errors, config):
+    if not isinstance(config, dict):
+        return fail(path, errors, "'config' must be an object")
+    fp = config.get("fingerprint")
+    if not (isinstance(fp, str) and len(fp) == 16
+            and all(c in "0123456789abcdef" for c in fp)):
+        fail(path, errors, "config.fingerprint must be 16 hex chars")
+
+
+def check_trace_counts(path, errors, where, trace):
+    if not isinstance(trace, dict):
+        return fail(path, errors, f"{where} must be an object")
+    for key in ENGINE_TRACE_KEYS:
+        if not _nonneg(trace.get(key)):
+            fail(path, errors,
+                 f"{where}.{key} must be a non-negative number")
+
+
+def check_engine_report(path, errors, doc):
+    for key in ("name", "title"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            fail(path, errors, f"'{key}' must be a non-empty string")
+    if not isinstance(doc.get("quick"), bool):
+        fail(path, errors, "'quick' must be a boolean")
+    check_fingerprint(path, errors, doc.get("config"))
+
+    sim = doc.get("sim")
+    if not isinstance(sim, dict):
+        fail(path, errors, "'sim' must be an object")
+    else:
+        for key in ENGINE_SIM_KEYS:
+            if not _nonneg(sim.get(key)):
+                fail(path, errors, f"sim.{key} must be a non-negative number")
+        check_trace_counts(path, errors, "sim.trace", sim.get("trace"))
+
+    overhead = doc.get("overhead")
+    if not isinstance(overhead, dict):
+        return fail(path, errors, "'overhead' must be an object")
+    arms = overhead.get("arms")
+    if not isinstance(arms, list):
+        return fail(path, errors, "overhead.arms must be an array")
+    names = tuple(a.get("name") for a in arms if isinstance(a, dict))
+    if names != ENGINE_ARMS:
+        return fail(path, errors,
+                    f"overhead.arms must be exactly {list(ENGINE_ARMS)} "
+                    f"in order, got {list(names)}")
+    tracer_secs = {}
+    for arm in arms:
+        where = f"overhead.arms[{arm.get('name')}]"
+        for key in ("wall_seconds", "events_per_sec", "peak_rss_bytes"):
+            if not _nonneg(arm.get(key)):
+                fail(path, errors,
+                     f"{where}.{key} must be a non-negative number")
+        check_trace_counts(path, errors, f"{where}.trace", arm.get("trace"))
+        phases = arm.get("phases")
+        if not isinstance(phases, dict):
+            fail(path, errors, f"{where}.phases must be an object")
+            continue
+        extra = set(phases) - set(ENGINE_PHASES)
+        missing = set(ENGINE_PHASES) - set(phases)
+        if extra:
+            fail(path, errors,
+                 f"{where}.phases: unknown phase(s) {sorted(extra)} "
+                 f"(closed enum: {list(ENGINE_PHASES)})")
+        if missing:
+            fail(path, errors,
+                 f"{where}.phases: missing phase(s) {sorted(missing)}")
+        for key, v in phases.items():
+            if not _nonneg(v):
+                fail(path, errors,
+                     f"{where}.phases.{key} must be a non-negative number")
+        if _nonneg(phases.get("tracer")):
+            tracer_secs[arm.get("name")] = phases["tracer"]
+    # Sampling must actually pay off. Quick-mode runs are too short for
+    # stable host timing, so only full artifacts enforce the ordering.
+    if doc.get("quick") is False and set(("sampled", "full")) <= set(tracer_secs):
+        if tracer_secs["sampled"] >= tracer_secs["full"]:
+            fail(path, errors,
+                 f"sampled arm tracer time ({tracer_secs['sampled']!r}s) not "
+                 f"strictly below full arm ({tracer_secs['full']!r}s)")
+
+
 def check_report(path, errors, doc):
     if not isinstance(doc, dict):
         return fail(path, errors, "top level is not an object")
     schema = doc.get("schema")
+    if schema == ENGINE_SCHEMA:
+        return check_engine_report(path, errors, doc)
     if schema not in SCHEMAS:
         fail(path, errors, f"schema is {schema!r}, want one of {SCHEMAS!r}")
     for key in ("name", "figure", "title"):
