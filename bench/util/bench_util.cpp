@@ -2,10 +2,12 @@
 
 #include <cstdio>
 
+#include "common/env.hpp"
+
 namespace vmstorm::bench {
 
 bool quick_mode() {
-  const char* q = std::getenv("VMSTORM_QUICK");
+  const char* q = common::env_or("VMSTORM_QUICK");
   return q != nullptr && q[0] == '1';
 }
 

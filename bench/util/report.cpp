@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "cloud/cloud.hpp"
+#include "common/env.hpp"
 #include "obs/critpath.hpp"
 #include "util/bench_util.hpp"
 
@@ -164,7 +165,7 @@ std::string Report::to_json() const {
 }
 
 std::string bench_dir() {
-  const char* dir = std::getenv("VMSTORM_BENCH_DIR");
+  const char* dir = common::env_or("VMSTORM_BENCH_DIR");
   return (dir != nullptr && dir[0] != '\0') ? dir : ".";
 }
 

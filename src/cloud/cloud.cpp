@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/env.hpp"
 #include "obs/selfprof.hpp"
 #include "sim/causal.hpp"
 #include "sim/sync.hpp"
@@ -26,18 +27,18 @@ Cloud::Cloud(CloudConfig cfg, Strategy strategy)
   // Attach the recorder before any component exists: components cache their
   // metric handles at construction time.
   engine_.set_recorder(&obs_);
-  if (const char* env = std::getenv("VMSTORM_TRACE")) {
+  if (const char* env = common::env_or("VMSTORM_TRACE")) {
     if (std::strcmp(env, "0") != 0) obs_.trace.set_enabled(true);
   }
   // Trace-volume knobs. VMSTORM_TRACE_RING bounds the retained event count
   // (ring overwrites the oldest past it); VMSTORM_TRACE_SAMPLE in [0,1]
   // keeps that fraction of root span trees, seeded from cfg.seed so the
   // decision is reproducible per seed.
-  if (const char* env = std::getenv("VMSTORM_TRACE_RING")) {
+  if (const char* env = common::env_or("VMSTORM_TRACE_RING")) {
     const unsigned long long cap = std::strtoull(env, nullptr, 10);
     if (cap > 0) obs_.trace.set_ring_capacity(static_cast<std::size_t>(cap));
   }
-  if (const char* env = std::getenv("VMSTORM_TRACE_SAMPLE")) {
+  if (const char* env = common::env_or("VMSTORM_TRACE_SAMPLE")) {
     obs_.trace.set_sampling(std::strtod(env, nullptr), cfg_.seed);
   }
   build_testbed();

@@ -3,9 +3,10 @@
 #include <atomic>
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <utility>
+
+#include "common/env.hpp"
 
 namespace vmstorm {
 namespace {
@@ -37,7 +38,7 @@ const char* level_tag(LogLevel l) {
 /// Applies VMSTORM_LOG_LEVEL exactly once, before the first threshold read.
 void init_level_from_env() {
   static const bool done = [] {
-    if (const char* env = std::getenv("VMSTORM_LOG_LEVEL")) {
+    if (const char* env = common::env_or("VMSTORM_LOG_LEVEL")) {
       LogLevel parsed;
       if (parse_log_level(env, &parsed)) {
         g_level.store(parsed, std::memory_order_relaxed);

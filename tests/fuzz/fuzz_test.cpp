@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/env.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -24,14 +25,14 @@ namespace vmstorm::fuzz {
 namespace {
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
+  const char* v = common::env_or(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::strtoull(v, nullptr, 0);
 }
 
 /// Writes a failing seed's report where CI can pick it up as an artifact.
 void save_artifact(std::uint64_t seed, const std::string& report) {
-  const char* dir = std::getenv("VMSTORM_FUZZ_DIR");
+  const char* dir = common::env_or("VMSTORM_FUZZ_DIR");
   if (dir == nullptr || *dir == '\0') return;
   std::ofstream out(std::string(dir) + "/fuzz_failure_" +
                     std::to_string(seed) + ".log");

@@ -1,0 +1,15 @@
+// Fixture: the sanctioned shim TU — the one place a raw getenv is legal
+// (taint.toml [env] shim_files matches this rel path). env_or is also the
+// host-kind sanitizer, so values returned from here carry no taint.
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace fixture::common {
+
+const char* env_or(const char* name, const char* fallback) noexcept {
+  const char* v = std::getenv(name);  // sanctioned raw read
+  return v ? v : fallback;
+}
+
+}  // namespace fixture::common

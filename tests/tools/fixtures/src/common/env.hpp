@@ -1,0 +1,10 @@
+// Fixture: mirror of the real common::env_or shim. Its .cpp lives at the
+// rel path taint.toml [env] shim_files sanctions, so the raw getenv inside
+// is legal there and nowhere else in the fixture tree.
+#pragma once
+
+namespace fixture::common {
+
+const char* env_or(const char* name, const char* fallback = nullptr) noexcept;
+
+}  // namespace fixture::common

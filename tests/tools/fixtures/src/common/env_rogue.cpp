@@ -1,0 +1,15 @@
+// Fixture: raw environment reads outside the shim — one deliberate escape
+// (must stay suppressed), one violation (must be the rule's only finding
+// in this file).
+#include <cstdlib>
+
+namespace fixture::common {
+
+const char* rogue_read() {
+  // vmlint:allow(env-read-discipline) fixture: the escape hatch must hold
+  const char* a = std::getenv("VMSTORM_A");
+  const char* b = std::getenv("VMSTORM_B");  // env-raw-rogue
+  return a ? a : b;
+}
+
+}  // namespace fixture::common

@@ -1,0 +1,16 @@
+// Fixture: the tainted half of the cross-TU determinism-taint pair. Host
+// wall-clock readings enter here and escape through return values; every
+// sink they reach is in sink.cpp.
+#include "obs/probe.hpp"
+
+namespace fixture::obs {
+
+double SelfProfiler::wall_now() { return 42.0; }
+
+double sample_wall() {
+  return SelfProfiler::wall_now();  // host taint enters the flow here
+}
+
+double blend(double v) { return v + sample_wall(); }  // tainted overload
+
+}  // namespace fixture::obs

@@ -1,0 +1,22 @@
+// Fixture: host-side measurement surface for the taint self-tests. Mirrors
+// the real src/obs shape closely enough for dataflow.py's qualified-name
+// matching (SelfProfiler::wall_now is a [kinds.host] source).
+#pragma once
+
+namespace fixture::obs {
+
+struct SelfProfiler {
+  static double wall_now();
+};
+
+// Defined in probe.cpp: leaks the host clock through its return value. The
+// sinks live in sink.cpp — catching them requires cross-TU summaries.
+double sample_wall();
+
+// Overload pair for the propagation-mode test: the double overload
+// (probe.cpp) returns taint, the int overload (sink.cpp) is clean. Under
+// [taint] propagation = "any" a call that could hit either is tainted.
+double blend(double v);
+double blend(int v);
+
+}  // namespace fixture::obs

@@ -339,6 +339,82 @@ def test_span_coverage_rule():
     assert got == want, (got, want)
 
 
+def test_determinism_taint_rule():
+    """Interprocedural host-taint: every leak shape in sink.cpp is found at
+    exactly its marker line; the host scope, the env_or sanitizer and the
+    allow escape stay silent."""
+    sink = "src/obs/sink.cpp"
+    got = run_rule("determinism-taint")
+    want = {
+        (sink, line_of(sink, "taint-cross-tu"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-field-store"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-note-inside"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-arg-to-sink"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-transparent"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-hostsplit-regress"),
+         "determinism-taint/metric-write"),
+        (sink, line_of(sink, "taint-trace-payload"),
+         "determinism-taint/trace-payload"),
+        (sink, line_of(sink, "taint-fingerprint"),
+         "determinism-taint/fingerprint"),
+        (sink, line_of(sink, "taint-env-direct"),
+         "determinism-taint/metric-write"),
+        # Only reachable under propagation = "any": blend(1) could bind to
+        # probe.cpp's tainted overload as well as sink.cpp's clean one.
+        (sink, line_of(sink, "taint-any-candidate"),
+         "determinism-taint/metric-write"),
+    }
+    # ok-host-scope, ok-sanitized and probe.cpp contribute nothing;
+    # ok-allow-escape lands in result.allowed, not here.
+    assert got == want, (got, want)
+
+
+def test_determinism_taint_flags_pr7_hostsplit_shape():
+    """Regression: the PR 7 host/sim split is now statically enforced — a
+    host_gauge reading re-published through a deterministic handle (and
+    hence reaching to_json's fingerprinted export) must stay a finding."""
+    sink = "src/obs/sink.cpp"
+    got = run_rule("determinism-taint")
+    assert (sink, line_of(sink, "taint-hostsplit-regress"),
+            "determinism-taint/metric-write") in got, got
+
+
+def test_rng_flow_rule():
+    bad = "src/sim/rngflow_bad.cpp"
+    got = run_rule("rng-flow")
+    want = {
+        (bad, line_of(bad, "rngflow-ctor"), "rng-flow/rng-seed"),
+        (bad, line_of(bad, "rngflow-mix"), "rng-flow/rng-seed"),
+        (bad, line_of(bad, "rngflow-schedule"), "rng-flow/sim-schedule"),
+        # std::mt19937 as a source *type*: the engine object itself is
+        # tainted, and invoking it yields a tainted value.
+        (bad, line_of(bad, "rngflow-engine-ctor"), "rng-flow/rng-seed"),
+    }
+    # rngflow_good.cpp (config-seeded Rng, constant delay) contributes
+    # nothing; the determinism rule's own fixtures have no entropy sinks.
+    assert got == want, (got, want)
+
+
+def test_env_discipline_rule():
+    rogue = "src/common/env_rogue.cpp"
+    sink = "src/obs/sink.cpp"
+    got = run_rule("env-read-discipline")
+    want = {
+        (rogue, line_of(rogue, "env-raw-rogue"),
+         "env-read-discipline/raw-getenv"),
+        (sink, line_of(sink, "env-raw-sink-file"),
+         "env-read-discipline/raw-getenv"),
+    }
+    # env.cpp is the sanctioned shim TU (taint.toml [env] shim_files) and
+    # rogue_read's first getenv carries an allow escape.
+    assert got == want, (got, want)
+
+
 def test_callgraph_cross_tu_blocking():
     """Blocking propagates from a co_await in one TU, through a
     header-declared function, to callers in another TU; hot-set closure
@@ -442,7 +518,8 @@ def test_cli_list_rules():
     assert proc.returncode == 0, proc
     for rule in ("determinism", "coro-capture", "layer-dag",
                  "status-discipline", "header-hygiene", "lock-across-await",
-                 "unguarded-waiter", "hot-path-alloc", "span-coverage"):
+                 "unguarded-waiter", "hot-path-alloc", "span-coverage",
+                 "determinism-taint", "rng-flow", "env-read-discipline"):
         assert rule in proc.stdout, (rule, proc.stdout)
 
 
@@ -475,6 +552,37 @@ def test_cli_stats_json():
     assert stats["callgraph"] is not None, stats
     assert stats["callgraph"]["functions"] > 0, stats
     assert stats["callgraph"]["blocking_set"] > 0, stats
+
+
+def test_cli_dataflow_stats():
+    """Taint-rule runs export dataflow shape (per-kind fixpoint counters)
+    through --stats, next to the call-graph block — the CI drift job reads
+    these to budget the analysis."""
+    import json
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = os.path.join(tmp, "stats.json")
+        proc = subprocess.run(
+            [sys.executable, VMLINT_PY, "--root", FIXTURES,
+             "--rules", "determinism-taint,rng-flow",
+             "--baseline", os.devnull, "--stats", stats_path],
+            capture_output=True, text=True)
+        assert proc.returncode == 1, proc  # fixtures contain findings
+        with open(stats_path, encoding="utf-8") as f:
+            stats = json.load(f)
+    flow = stats["dataflow"]
+    assert flow is not None, stats
+    assert flow["propagation"] == "any", flow
+    assert flow["functions"] > 0, flow
+    for kind in ("host", "entropy"):
+        ks = flow["kinds"][kind]
+        assert ks["iterations"] >= 1, ks
+        assert ks["findings"] > 0, ks
+    # The cross-TU leaks require real summary propagation, not a degenerate
+    # single-pass run.
+    assert flow["kinds"]["host"]["tainted_returns"] > 0, flow
+    assert flow["kinds"]["host"]["entry_tainted_params"] > 0, flow
+    # Non-taint runs keep the block null (see test_cli_stats_json's rules).
+    assert stats["callgraph"] is not None, stats
 
 
 def test_cli_hotpath_budget_roundtrip():

@@ -30,9 +30,13 @@ Name resolution is deliberately conservative, tuned to fail toward silence:
   * member calls (`x.read(...)`, `p->push(...)`) resolve by name only when
     the name is not in the configured `ambiguous_members` list — generic
     container-ish names are dropped rather than edged to every definition;
-  * for *blocking propagation* an edge only transmits the bit when every
-    candidate is blocking, so one blocking `read` among three cannot taint
-    an unrelated caller.
+  * multi-candidate edges transmit an analysis bit under a per-analysis
+    aggregation mode (see combine()): blocking propagation uses "all" (a
+    must-analysis — one blocking `read` among three cannot taint an
+    unrelated caller), while the taint analyses in dataflow.py use "any"
+    (a may-analysis — taint through one plausible callee is a finding).
+    Each mode is declared next to the analysis it governs: `propagation`
+    in blocking.toml [blocking] and taint.toml [taint].
 
 The graph is built once per Project (see get()) and shared by all four flow
 rules; build stats are exported for `vmlint --stats`.
@@ -470,6 +474,24 @@ def _load_config(path=_CONFIG_PATH):
         return tomllib.load(f)
 
 
+def combine(flags, mode):
+    """Aggregates a per-candidate bit across a multi-candidate call edge.
+
+    mode "all": must-semantics — the edge transmits only when every
+    candidate has the property (sound for blocking: no false edges).
+    mode "any": may-semantics — one candidate suffices (sound for taint:
+    no missed flows). `flags` must be a non-empty iterable of bools.
+    """
+    flags = list(flags)
+    if not flags:
+        return False
+    if mode == "any":
+        return any(flags)
+    if mode == "all":
+        return all(flags)
+    raise ValueError(f"unknown propagation mode {mode!r} (want any|all)")
+
+
 class CallGraph:
     """The parsed project: FunctionDefs, resolved call edges, blocking and
     hot transitive sets, and build statistics."""
@@ -500,6 +522,8 @@ class CallGraph:
 
         self._ambiguous = set(
             self.config.get("blocking", {}).get("ambiguous_members", []))
+        self._blocking_mode = self.config.get("blocking", {}).get(
+            "propagation", "all")
         n_sites = 0
         n_resolved = 0
         for fn in self.functions:
@@ -533,8 +557,10 @@ class CallGraph:
 
     def is_blocking_call(self, site):
         """True when this call site conservatively must reach a suspension
-        point: it resolved, and every candidate definition is blocking."""
-        return bool(site.cands) and all(c.blocking for c in site.cands)
+        point: it resolved, and the candidates are blocking under the
+        configured aggregation mode (blocking.toml `propagation`, default
+        "all" — see combine())."""
+        return combine((c.blocking for c in site.cands), self._blocking_mode)
 
     # -- resolution ----------------------------------------------------------
 
@@ -574,7 +600,8 @@ class CallGraph:
                 if fn.blocking:
                     continue
                 for site in fn.calls:
-                    if site.cands and all(c.blocking for c in site.cands):
+                    if combine((c.blocking for c in site.cands),
+                               self._blocking_mode):
                         fn.blocking = True
                         fn.blocking_why = (
                             f"calls blocking {site.cands[0].display()} "

@@ -16,6 +16,9 @@ from rules.lock_across_await import LockAcrossAwaitRule
 from rules.unguarded_waiter import UnguardedWaiterRule
 from rules.hot_path_alloc import HotPathAllocRule
 from rules.span_coverage import SpanCoverageRule
+from rules.determinism_taint import DeterminismTaintRule
+from rules.rng_flow import RngFlowRule
+from rules.env_discipline import EnvDisciplineRule
 
 ALL_RULES = (
     DeterminismRule,
@@ -27,6 +30,9 @@ ALL_RULES = (
     UnguardedWaiterRule,
     HotPathAllocRule,
     SpanCoverageRule,
+    DeterminismTaintRule,
+    RngFlowRule,
+    EnvDisciplineRule,
 )
 
 

@@ -1,0 +1,46 @@
+"""env-read-discipline: raw getenv only inside the sanctioned config shim.
+
+Environment variables are legitimate host-side configuration — but only
+when every read is auditable in one place. common::env_or()
+(src/common/env.cpp) is that place: the one TU allowed to call
+std::getenv, the documented inventory of VMSTORM_* knobs, and the
+host-taint sanitizer the determinism-taint rule trusts. A raw getenv
+anywhere else creates an invisible knob that the taint analysis (and the
+README) cannot account for.
+
+Project-wide (every scan root). The shim TU list lives in taint.toml
+[env] shim_files. Suppress a deliberate exception with
+`// vmlint:allow(env-read-discipline) <reason>`.
+"""
+
+import dataflow
+from core import Finding
+
+
+class EnvDisciplineRule:
+    name = "env-read-discipline"
+    description = "raw getenv outside the sanctioned common::env_or() shim"
+
+    def prepare(self, project):
+        cfg = dataflow.get(project).config.get("env", {})
+        self._calls = set(cfg.get("calls", ["getenv"]))
+        self._shims = set(cfg.get("shim_files", []))
+
+    def visit(self, sf, tokens):
+        if sf.rel in self._shims:
+            return []
+        findings = []
+        toks = [t for t in tokens if t.kind not in ("comment", "disabled")]
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in self._calls:
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            if i > 0 and toks[i - 1].text in (".", "->"):
+                continue  # member named like the libc call
+            findings.append(Finding(
+                self.name, sf.rel, t.line,
+                f"raw {t.text}() outside the sanctioned shim; route the "
+                f"knob through common::env_or() (src/common/env.hpp)",
+                subrule="raw-getenv"))
+        return findings

@@ -52,6 +52,7 @@ from rules import ALL_RULES, make_rules  # noqa: E402
 
 def _write_stats(path, project, result, n_new, n_grandfathered, n_stale):
     graph = getattr(project, "_vmlint_callgraph", None)
+    flow = getattr(project, "_vmlint_dataflow", None)
     stats = {
         "schema": "vmstorm-vmlint-stats-v1",
         "files": len(project.files),
@@ -61,6 +62,7 @@ def _write_stats(path, project, result, n_new, n_grandfathered, n_stale):
         "grandfathered": n_grandfathered,
         "stale_entries": n_stale,
         "callgraph": graph.stats if graph is not None else None,
+        "dataflow": flow.stats if flow is not None else None,
     }
     text = json.dumps(stats, indent=2, sort_keys=True) + "\n"
     if path == "-":
