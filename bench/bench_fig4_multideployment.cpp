@@ -57,10 +57,12 @@ int run() {
        {Strategy::kPrepropagation, Strategy::kQcowOverPvfs, Strategy::kOurs}) {
     for (std::size_t n : sweep) {
       cloud::Cloud c(bench::paper_cloud_config(n), s);
-      // The capture run always traces: its artifact must carry attribution
-      // even when the environment didn't set VMSTORM_TRACE.
+      // The capture run always traces and samples a timeline: its artifact
+      // must carry attribution and the throughput-over-time curves even
+      // when the environment didn't set VMSTORM_TRACE / VMSTORM_TIMELINE.
       if (s == Strategy::kOurs && n == sweep.back()) {
         c.obs().trace.set_enabled(true);
+        if (!c.timeline_enabled()) c.enable_timeline();
       }
       auto m = c.multideploy(n, tp);
       Row r;
@@ -76,6 +78,7 @@ int run() {
       // paper's analysis focuses on.
       if (s == Strategy::kOurs && n == sweep.back()) {
         bench::capture_obs(report, c);
+        bench::add_timeline_panels(report, c, "4e");
       }
       std::fprintf(stderr, "  [fig4] %-22s n=%-3zu boot=%.1fs total=%.1fs traffic=%.1fGB\n",
                    cloud::strategy_name(s), n, r.avg_boot, r.completion,

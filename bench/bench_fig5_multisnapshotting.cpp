@@ -48,9 +48,11 @@ int run() {
   for (Strategy s : {Strategy::kQcowOverPvfs, Strategy::kOurs}) {
     for (std::size_t n : sweep) {
       cloud::Cloud c(bench::paper_cloud_config(n), s);
-      // Capture run always traces so the artifact carries attribution.
+      // Capture run always traces so the artifact carries attribution, and
+      // samples a timeline for the throughput/imbalance-over-time curves.
       if (s == Strategy::kOurs && n == sweep.back()) {
         c.obs().trace.set_enabled(true);
+        if (!c.timeline_enabled()) c.enable_timeline();
       }
       c.multideploy(n, tp);  // setup: creates the local modifications
       auto m = c.multisnapshot();
@@ -70,6 +72,7 @@ int run() {
       rows[s][n] = r;
       if (s == Strategy::kOurs && n == sweep.back()) {
         bench::capture_obs(report, c);
+        bench::add_timeline_panels(report, c, "5e");
       }
       std::fprintf(stderr,
                    "  [fig5] %-16s n=%-3zu avg=%.2fs completion=%.2fs diff=%.1fMB\n",

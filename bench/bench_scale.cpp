@@ -11,18 +11,26 @@
 // be identical across arms — tracing cannot change event order — and the
 // bench fails hard if they differ.
 //
+// A fourth run repeats the workload with timeline sampling enabled. Its
+// sampler is a real engine task, so its counters legitimately differ from
+// the three comparison arms; it contributes only the "timeline" section
+// (rendered by `vmstormctl timeline BENCH_engine.json`).
+//
 // Artifact: BENCH_engine.json, schema "vmstorm-engine-v1" (validated by
-// tools/check_bench_schema.py, rendered by `vmstormctl engine-stats`).
-// Host times live in the non-fingerprinted "overhead" section; the "sim"
-// section is a pure function of the seed.
+// tools/check_bench_schema.py, rendered by `vmstormctl engine-stats`;
+// regression-gated by tools/check_bench_regress.py against
+// bench/baselines/). Host times live in the non-fingerprinted "overhead"
+// section; the "sim" section is a pure function of the seed.
 //
 // Full mode: 10240 instances. VMSTORM_QUICK=1: 256 (CI budget ~60 s).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "obs/selfprof.hpp"
+#include "obs/timeline.hpp"
 #include "util/bench_util.hpp"
 #include "util/report.hpp"
 
@@ -79,6 +87,10 @@ Result<ArmResult> run_arm(const std::string& name,
   r.name = name;
   cloud::Cloud c(cfg, cloud::Strategy::kOurs);
   c.obs().trace.set_enabled(sample_rate >= 0);  // override VMSTORM_TRACE
+  // Comparison arms never sample a timeline (override VMSTORM_TIMELINE):
+  // the sampler is an engine task, and these counters must stay comparable
+  // with the committed baselines in bench/baselines/.
+  c.obs().timeline.set_enabled(false);
   if (sample_rate >= 0 && sample_rate < 1.0) {
     c.obs().trace.set_sampling(sample_rate, cfg.seed);
   }
@@ -131,6 +143,27 @@ std::string config_fingerprint(
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(h));
   return buf;
+}
+
+/// Bucket-averaged ASCII sparkline, at most `width` columns.
+std::string sparkline(const std::vector<double>& v, std::size_t width) {
+  static const char kRamp[] = " .:-=+*#%@";  // 10 levels
+  if (v.empty()) return "";
+  double hi = 0;
+  for (double x : v) hi = std::max(hi, x);
+  std::string out;
+  const std::size_t cols = std::min(width, v.size());
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t b = c * v.size() / cols;
+    const std::size_t e = std::max(b + 1, (c + 1) * v.size() / cols);
+    double acc = 0;
+    for (std::size_t i = b; i < e; ++i) acc += v[i];
+    const double m = acc / static_cast<double>(e - b);
+    int idx = hi > 0 ? static_cast<int>(m / hi * 9.0 + 0.5) : 0;
+    idx = std::clamp(idx, 0, 9);
+    out.push_back(kRamp[idx]);
+  }
+  return out;
 }
 
 void write_phases(obs::JsonWriter& w, const obs::SelfProfiler& prof) {
@@ -219,6 +252,34 @@ int run() {
               static_cast<unsigned long long>(off.queue_depth_hw),
               static_cast<unsigned long long>(off.wait_records_created));
 
+  // ---- Fourth run: timeline sampling ------------------------------------
+  // The sampler is an ordinary span-0 engine task, so this run's counters
+  // are not comparable with the arms above; it exists only to produce the
+  // artifact's "timeline" section.
+  std::string timeline_json;
+  {
+    cloud::Cloud c(cfg, cloud::Strategy::kOurs);
+    c.obs().trace.set_enabled(false);
+    if (!c.timeline_enabled()) c.enable_timeline();
+    c.multideploy(cfg.compute_nodes, tp);
+    auto m = c.multisnapshot();
+    if (!m.is_ok()) {
+      std::fprintf(stderr, "timeline run failed: %s\n",
+                   m.status().to_string().c_str());
+      return 1;
+    }
+    timeline_json = c.timeline_json();
+    const obs::Timeline& tl = c.obs().timeline;
+    const obs::Timeline::SeriesId id =
+        tl.find_series("net.throughput_bytes_per_sec");
+    if (id < tl.series_count()) {
+      std::printf("\naggregate throughput over sim time "
+                  "(%zu samples, %.2gs cadence):\n  |%s|\n",
+                  tl.samples_retained(), tl.cadence_seconds(),
+                  sparkline(tl.values(id), 64).c_str());
+    }
+  }
+
   // ---- BENCH_engine.json (schema vmstorm-engine-v1) ----------------------
   std::vector<std::pair<std::string, std::string>> fp_entries = {
       {"instances", std::to_string(n)},
@@ -275,6 +336,14 @@ int run() {
   }
   w.end_array();
   w.end_object();
+  // Sampled time series from the fourth (timeline) run. Deterministic like
+  // "sim", but optional: null if sampling produced nothing.
+  w.key("timeline");
+  if (timeline_json.empty()) {
+    w.null();
+  } else {
+    w.raw(timeline_json);
+  }
   w.end_object();
 
   const std::string path = bench::bench_dir() + "/BENCH_engine.json";

@@ -89,7 +89,7 @@ std::string Report::fingerprint() const {
 std::string Report::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("vmstorm-bench-v2");
+  w.key("schema").value("vmstorm-bench-v3");
   w.key("name").value(name_);
   w.key("figure").value(figure_);
   w.key("title").value(title_);
@@ -160,6 +160,12 @@ std::string Report::to_json() const {
   } else {
     w.raw(attribution_json_);
   }
+  w.key("timeline");
+  if (timeline_json_.empty()) {
+    w.null();
+  } else {
+    w.raw(timeline_json_);
+  }
   w.end_object();
   return w.take();
 }
@@ -191,6 +197,34 @@ std::string Report::write() const {
   return path;
 }
 
+void add_timeline_panels(Report& report, cloud::Cloud& cloud,
+                         const std::string& prefix) {
+  const obs::Timeline& tl = cloud.obs().timeline;
+  if (!tl.enabled() || tl.samples_retained() == 0) return;
+  const std::vector<double> time = tl.times();
+
+  const auto add_curve = [&](const char* series_name, const char* panel_title,
+                             const char* y_label, const char* curve,
+                             double scale) {
+    const obs::Timeline::SeriesId id = tl.find_series(series_name);
+    if (id >= tl.series_count()) return;
+    const std::vector<double> v = tl.values(id);
+    Panel& p = report.panel(panel_title, "time (s)", y_label);
+    Series& s = p.at(curve);
+    for (std::size_t i = 0; i < time.size(); ++i) {
+      s.add(time[i], v[i] * scale);
+    }
+  };
+
+  // The paper's Fig. 4-style aggregate-throughput curve and the provider
+  // load-skew companion (max/mean per-sample provider disk utilization).
+  add_curve("net.throughput_bytes_per_sec",
+            (prefix + "_throughput_timeline").c_str(),
+            "aggregate throughput (MB/s)", "throughput_mbps", 1e-6);
+  add_curve("provider.imbalance", (prefix + "_provider_imbalance").c_str(),
+            "max/mean provider load", "imbalance_ratio", 1.0);
+}
+
 void report_cloud_config(Report& report, const cloud::CloudConfig& cfg) {
   report.config("compute_nodes", static_cast<std::uint64_t>(cfg.compute_nodes));
   report.config("image_size", static_cast<std::uint64_t>(cfg.image_size));
@@ -206,6 +240,9 @@ void report_cloud_config(Report& report, const cloud::CloudConfig& cfg) {
 
 void capture_obs(Report& report, cloud::Cloud& cloud) {
   report.set_metrics_json(cloud.metrics_json());
+  if (cloud.timeline_enabled()) {
+    report.set_timeline_json(cloud.timeline_json());
+  }
   if (cloud.obs().trace.enabled()) {
     const obs::CritReport crit =
         obs::analyze_critical_paths(cloud.obs().trace.events());

@@ -1,4 +1,4 @@
-// Machine-readable benchmark reports (schema "vmstorm-bench-v2").
+// Machine-readable benchmark reports (schema "vmstorm-bench-v3").
 //
 // Every bench binary builds one Report mirroring the tables it prints:
 // panels hold named series of (x, y) points (x numeric for sweeps,
@@ -83,6 +83,12 @@ class Report {
     attribution_json_ = std::move(json);
   }
 
+  /// Attaches the sampled time-series section (cloud::Cloud::timeline_json).
+  /// Empty = "timeline": null (sampling off).
+  void set_timeline_json(std::string json) {
+    timeline_json_ = std::move(json);
+  }
+
   /// FNV-1a over the config entries; stable across runs of one build.
   std::string fingerprint() const;
 
@@ -103,14 +109,24 @@ class Report {
   std::deque<Panel> panels_;
   std::string metrics_json_;      ///< empty = "metrics": null
   std::string attribution_json_;  ///< empty = "attribution": null
+  std::string timeline_json_;     ///< empty = "timeline": null
 };
 
 /// Captures the Cloud's metrics registry into the report (collect + JSON).
 /// When tracing is enabled it additionally runs the critical-path analyzer
 /// over the recorded spans (the "attribution" section of the artifact) and
 /// writes the trace alongside it, as TRACE_<name>.json (chrome://tracing)
-/// and TRACE_<name>.jsonl (the `vmstormctl critpath` input).
+/// and TRACE_<name>.jsonl (the `vmstormctl critpath` input). When timeline
+/// sampling is enabled, the sampled series plus their phase segmentation
+/// land in the "timeline" section.
 void capture_obs(Report& report, cloud::Cloud& cloud);
+
+/// Adds the paper-style temporal panels from the cloud's sampled timeline:
+/// aggregate throughput over time (MB/s) and the provider-load imbalance
+/// ratio over time. No-op when sampling is disabled or empty; `prefix`
+/// names the panels (e.g. "4e"/"4f").
+void add_timeline_panels(Report& report, cloud::Cloud& cloud,
+                         const std::string& prefix);
 
 /// Records the standard testbed knobs (node count, image/chunk sizes,
 /// replication, dedup, prefetch window, seed) into the report's config,

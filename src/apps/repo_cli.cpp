@@ -1,5 +1,7 @@
 #include "apps/repo_cli.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -12,6 +14,7 @@
 #include "common/units.hpp"
 #include "obs/critpath.hpp"
 #include "obs/json.hpp"
+#include "obs/phases.hpp"
 
 namespace vmstorm::apps {
 
@@ -282,6 +285,221 @@ Result<std::string> cmd_engine_stats(const Parsed& p) {
   return os.str();
 }
 
+// ---- `timeline` rendering ------------------------------------------------
+
+std::vector<double> json_doubles(const obs::JsonValue& arr) {
+  std::vector<double> out;
+  out.reserve(arr.items().size());
+  for (const obs::JsonValue& v : arr.items()) out.push_back(v.as_number());
+  return out;
+}
+
+/// Bucket-averaged sparkline over at most `width` columns; `hi` is the
+/// full-scale value (pass 1.0 for utilization series so the glyphs encode
+/// absolute level, or a series max for unbounded ones).
+std::string sparkline(const std::vector<double>& v, std::size_t width,
+                      double hi) {
+  static const char kRamp[] = " .:-=+*#%@";  // 10 levels
+  if (v.empty()) return "";
+  std::string out;
+  const std::size_t cols = std::min(width, v.size());
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t b = c * v.size() / cols;
+    const std::size_t e = std::max(b + 1, (c + 1) * v.size() / cols);
+    double acc = 0;
+    for (std::size_t i = b; i < e; ++i) acc += v[i];
+    const double m = acc / static_cast<double>(e - b);
+    int idx = hi > 0 ? static_cast<int>(m / hi * 9.0 + 0.5) : 0;
+    idx = std::clamp(idx, 0, 9);
+    out.push_back(kRamp[idx]);
+  }
+  return out;
+}
+
+const obs::JsonValue* find_tl_series(const obs::JsonValue& tl,
+                                     std::string_view name) {
+  for (const obs::JsonValue& s : tl["series"].items()) {
+    if (s["name"].as_string() == name) return &s;
+  }
+  return nullptr;
+}
+
+char regime_char(const std::string& name) {
+  if (name == "repo_bound") return 'R';
+  if (name == "network_bound") return 'N';
+  if (name == "local_disk_bound") return 'D';
+  return '.';  // idle
+}
+
+std::string pad_to(std::string s, std::size_t width) {
+  while (s.size() < width) s.push_back(' ');
+  return s;
+}
+
+Result<std::string> cmd_timeline(const Parsed& p) {
+  if (p.positional.size() != 1) {
+    return invalid_argument("timeline <BENCH.json>");
+  }
+  std::ifstream in(p.positional[0], std::ios::binary);
+  if (!in) return not_found("cannot open " + p.positional[0]);
+  std::ostringstream text;
+  text << in.rdbuf();
+  VMSTORM_ASSIGN_OR_RETURN(doc, obs::parse_json(text.str()));
+  const obs::JsonValue& tl = doc["timeline"];
+  if (!tl.is_object()) {
+    return invalid_argument(
+        "artifact has no timeline section (sampling was off; rerun the "
+        "bench with VMSTORM_TIMELINE=1)");
+  }
+
+  const std::vector<double> time = json_doubles(tl["time"]);
+  const double cadence = tl["cadence_seconds"].as_number();
+  constexpr std::size_t kWidth = 64;
+  constexpr std::size_t kLabel = 30;
+
+  std::ostringstream os;
+  os << doc["name"].as_string() << ": " << time.size() << " samples, "
+     << Table::num(cadence, 2) << "s cadence";
+  if (tl["dropped_samples"].as_number() > 0) {
+    os << ", " << Table::num(tl["dropped_samples"].as_number(), 0)
+       << " oldest overwritten (ring)";
+  }
+  if (!time.empty()) {
+    os << ", window " << Table::num(time.front() - cadence, 2) << "s.."
+       << Table::num(time.back(), 2) << "s";
+  }
+  os << "\n\n";
+
+  // Headline series as sparklines. Utilization rows use a fixed 0..1 scale;
+  // unbounded rows are normalized to their own peak (printed alongside).
+  struct Headline {
+    const char* series;
+    double scale;     ///< applied to the peak annotation
+    const char* unit;
+    bool unit_scale;  ///< true: full-scale 1.0; false: full-scale = peak
+  };
+  const Headline kHeadlines[] = {
+      {"net.throughput_bytes_per_sec", 1e-6, " MB/s peak", false},
+      {"util.network", 1.0, " peak", true},
+      {"util.repo_disk", 1.0, " peak", true},
+      {"util.local_disk", 1.0, " peak", true},
+      {"provider.imbalance", 1.0, "x peak", false},
+  };
+  for (const Headline& h : kHeadlines) {
+    const obs::JsonValue* s = find_tl_series(tl, h.series);
+    if (s == nullptr) continue;
+    const std::vector<double> v = json_doubles((*s)["values"]);
+    double peak = 0;
+    for (double x : v) peak = std::max(peak, x);
+    os << "  " << pad_to(h.series, kLabel) << "|"
+       << pad_to(sparkline(v, kWidth, h.unit_scale ? 1.0 : peak), kWidth)
+       << "| " << Table::num(peak * h.scale, 2) << h.unit << "\n";
+  }
+
+  // Per-provider load heatmap (one sparkline row per provider, capped).
+  constexpr std::size_t kMaxHeatRows = 12;
+  std::size_t heat_rows = 0, heat_total = 0;
+  for (const obs::JsonValue& s : tl["series"].items()) {
+    if (s["name"].as_string() != "provider.util") continue;
+    ++heat_total;
+    if (heat_rows >= kMaxHeatRows) continue;
+    ++heat_rows;
+    if (heat_rows == 1) os << "\n  provider disk utilization\n";
+    os << "  " << pad_to("  p" + s["labels"]["provider"].as_string(), kLabel)
+       << "|" << pad_to(sparkline(json_doubles(s["values"]), kWidth, 1.0),
+                        kWidth)
+       << "|\n";
+  }
+  if (heat_total > heat_rows) {
+    os << "  (" << heat_total - heat_rows << " more providers not shown)\n";
+  }
+
+  // Phase segmentation: regime strip, segment table, totals, cross-checks.
+  const obs::JsonValue& ph = tl["phases"];
+  if (ph.is_object() && !time.empty()) {
+    const auto& segs = ph["segments"].items();
+    std::vector<char> regs(time.size(), '.');
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < time.size() && si < segs.size(); ++i) {
+      double seg_end = segs[si]["start"].as_number() +
+                       segs[si]["seconds"].as_number();
+      while (si + 1 < segs.size() && time[i] > seg_end + 1e-9) {
+        ++si;
+        seg_end = segs[si]["start"].as_number() +
+                  segs[si]["seconds"].as_number();
+      }
+      regs[i] = regime_char(segs[si]["regime"].as_string());
+    }
+    std::string strip;
+    const std::size_t cols = std::min(kWidth, regs.size());
+    for (std::size_t c = 0; c < cols; ++c) {
+      strip.push_back(regs[c * regs.size() / cols]);
+    }
+    os << "\n  " << pad_to("regime", kLabel) << "|" << pad_to(strip, kWidth)
+       << "| R=repo N=network D=local-disk .=idle\n";
+
+    os << "\n  bottleneck phases\n";
+    Table seg_table({"regime", "start s", "seconds"});
+    for (const obs::JsonValue& s : segs) {
+      seg_table.add_row({s["regime"].as_string(),
+                         Table::num(s["start"].as_number(), 2),
+                         Table::num(s["seconds"].as_number(), 2)});
+    }
+    os << seg_table.to_string();
+
+    double totals_sum = 0;
+    Table totals({"regime", "seconds", "share"});
+    const double duration = ph["duration_seconds"].as_number();
+    for (const auto& [key, v] : ph["totals"].members()) {
+      totals_sum += v.as_number();
+      totals.add_row({key, Table::num(v.as_number(), 2),
+                      duration > 0
+                          ? Table::num(v.as_number() / duration * 100.0, 1) +
+                                "%"
+                          : "-"});
+    }
+    os << "\n" << totals.to_string();
+
+    // The closed-sum invariant, re-verified on the exported artifact.
+    const double tol = 1e-6 * std::max(1.0, duration);
+    if (std::abs(totals_sum - duration) > tol) {
+      return internal_error("phase totals sum " +
+                            obs::json_number(totals_sum) +
+                            " != duration " + obs::json_number(duration));
+    }
+    os << "\n  totals sum " << Table::num(totals_sum, 4) << "s == duration "
+       << Table::num(duration, 4) << "s (closed)\n";
+
+    // Recompute the segmentation from the exported series and require it
+    // to match the embedded one: the analyzer must be a pure function of
+    // the artifact.
+    const obs::JsonValue* srepo = find_tl_series(tl, "util.repo_disk");
+    const obs::JsonValue* snet = find_tl_series(tl, "util.network");
+    const obs::JsonValue* slocal = find_tl_series(tl, "util.local_disk");
+    if (srepo != nullptr && snet != nullptr && slocal != nullptr) {
+      obs::PhaseOptions opts;
+      opts.cadence_seconds = cadence;
+      const obs::PhaseReport rep = obs::analyze_phases(
+          time, json_doubles((*srepo)["values"]),
+          json_doubles((*snet)["values"]), json_doubles((*slocal)["values"]),
+          opts);
+      for (std::size_t k = 0; k < obs::kRegimeCount; ++k) {
+        const char* name = obs::regime_name(static_cast<obs::Regime>(k));
+        const double embedded = ph["totals"][name].as_number();
+        if (std::abs(embedded - rep.totals[k]) > tol) {
+          return internal_error(
+              std::string("recomputed phases disagree with artifact: ") +
+              name + " " + obs::json_number(rep.totals[k]) + "s vs " +
+              obs::json_number(embedded) + "s");
+        }
+      }
+      os << "  recomputed segmentation matches the embedded phases ("
+         << rep.segments.size() << " segments)\n";
+    }
+  }
+  return os.str();
+}
+
 }  // namespace
 
 Result<Bytes> parse_size(const std::string& text) {
@@ -312,7 +530,8 @@ std::string repo_cli_usage() {
          "  clone <repo> <blob> <version>\n"
          "  patch <repo> <blob> <offset> <file>\n"
          "  critpath <trace.jsonl>\n"
-         "  engine-stats <BENCH_engine.json>\n";
+         "  engine-stats <BENCH_engine.json>\n"
+         "  timeline <BENCH.json>\n";
 }
 
 Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
@@ -326,6 +545,7 @@ Result<std::string> run_repo_cli(const std::vector<std::string>& args) {
   if (parsed.command == "patch") return cmd_patch(parsed);
   if (parsed.command == "critpath") return cmd_critpath(parsed);
   if (parsed.command == "engine-stats") return cmd_engine_stats(parsed);
+  if (parsed.command == "timeline") return cmd_timeline(parsed);
   return invalid_argument("unknown command '" + parsed.command + "'\n" +
                           repo_cli_usage());
 }

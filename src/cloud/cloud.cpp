@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 #include "common/env.hpp"
+#include "obs/phases.hpp"
 #include "obs/selfprof.hpp"
 #include "sim/causal.hpp"
 #include "sim/sync.hpp"
@@ -43,6 +45,19 @@ Cloud::Cloud(CloudConfig cfg, Strategy strategy)
   }
   build_testbed();
   upload_image();
+  // Timeline knobs mirror the trace ones: VMSTORM_TIMELINE=1 turns the
+  // sampler on, VMSTORM_TIMELINE_CADENCE (simulated seconds) overrides the
+  // sampling interval.
+  if (const char* env = common::env_or("VMSTORM_TIMELINE")) {
+    if (std::strcmp(env, "0") != 0) {
+      obs::TimelineConfig tc;
+      if (const char* cad = common::env_or("VMSTORM_TIMELINE_CADENCE")) {
+        const double v = std::strtod(cad, nullptr);
+        if (v > 0) tc.cadence_seconds = v;
+      }
+      enable_timeline(tc);
+    }
+  }
 }
 
 Cloud::~Cloud() = default;
@@ -170,7 +185,7 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
     engine_.spawn(bcast::broadcast(engine_, *network_, nfs_node_, *nfs_disk_,
                                    targets, tdisks, cfg_.image_size,
                                    cfg_.broadcast, &br));
-    engine_.run();
+    run_engine();
     m.broadcast_seconds = engine_.now_seconds() - t0;
   }
 
@@ -194,7 +209,7 @@ MultideployMetrics Cloud::multideploy(std::size_t n,
           instances_[i]->ours->prefetch(prefetch_profile_, cfg_.prefetch_window));
     }
   }
-  engine_.run();
+  run_engine();
 
   for (auto& inst : instances_) m.boot_seconds.add(inst->boot.boot_seconds());
   // Completion = the slowest instance's boot, from phase start — what the
@@ -283,7 +298,7 @@ Result<MultisnapshotMetrics> Cloud::multisnapshot() {
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     engine_.spawn(snapshot_one(*instances_[i], t0, &finished[i]));
   }
-  engine_.run();
+  run_engine();
   double last = t0;
   for (double f : finished) {
     m.snapshot_seconds.add(f - t0);
@@ -341,7 +356,7 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
           compute_nodes_[fresh], disks_[fresh].get(),
           instances_[i]->qcow->host_file_bytes()));
     }
-    engine_.run();
+    run_engine();
   }
 
   for (std::size_t i = 0; i < instances_.size(); ++i) {
@@ -391,7 +406,7 @@ Result<MultideployMetrics> Cloud::resume_boot(const vm::BootTraceParams& tp,
     engine_.spawn(vm::run_boot(engine_, *resumed[i]->vmdisk, trace,
                                root.fork(i), bpi, &resumed[i]->boot));
   }
-  engine_.run();
+  run_engine();
   instances_ = std::move(resumed);
 
   for (auto& inst : instances_) m.boot_seconds.add(inst->boot.boot_seconds());
@@ -438,7 +453,7 @@ double Cloud::run_app_phase(double cpu_seconds, Bytes write_bytes,
                                 cpu_seconds, write_bytes, write_ops,
                                 root.fork(i), cfg_.image_size));
   }
-  engine_.run();
+  run_engine();
   return engine_.now_seconds() - t0;
 }
 
@@ -458,6 +473,232 @@ Bytes Cloud::repository_bytes() const {
     case Strategy::kPrepropagation: return cfg_.image_size;
   }
   return 0;
+}
+
+// ---- Timeline sampling ------------------------------------------------------
+
+void Cloud::enable_timeline(obs::TimelineConfig cfg) {
+  obs_.timeline.configure(cfg);
+  obs_.timeline.set_enabled(true);
+  tlp_ = TimelineProbe{};
+}
+
+storage::Disk& Cloud::repo_disk(std::size_t i) {
+  // Repository role: the blob providers / DFS servers (first N compute
+  // disks) for ours/qcow; the NFS server disk for prepropagation.
+  if (strategy_ == Strategy::kPrepropagation) return *nfs_disk_;
+  return *disks_[i];
+}
+
+void Cloud::setup_timeline() {
+  obs::Timeline& tl = obs_.timeline;
+  const std::size_t n = cfg_.compute_nodes;
+  tlp_.repo_disks = strategy_ == Strategy::kPrepropagation ? 1 : n;
+  tlp_.labeled = strategy_ == Strategy::kPrepropagation
+                     ? 0
+                     : std::min(n, tl.config().max_labeled_providers);
+  tlp_.has_mirror = strategy_ == Strategy::kOurs;
+
+  tlp_.net_tp = tl.add_series("net.throughput_bytes_per_sec");
+  tlp_.net_payload = tl.add_series("net.payload_bytes_per_sec");
+  tlp_.util_net = tl.add_series("util.network");
+  tlp_.util_repo = tl.add_series("util.repo_disk");
+  tlp_.util_local = tl.add_series("util.local_disk");
+  tlp_.sim_queue = tl.add_series("sim.queue_depth");
+  tlp_.sim_tasks = tl.add_series("sim.live_tasks");
+  tlp_.repo_growth = tl.add_series("repo.stored_bytes_per_sec");
+  tlp_.imbalance = tl.add_series("provider.imbalance");
+  tlp_.qd_mean = tl.add_series("provider.queue_depth_mean");
+  tlp_.qd_max = tl.add_series("provider.queue_depth_max");
+  if (tlp_.has_mirror) {
+    tlp_.mirror_inflight = tl.add_series("mirror.bytes_in_flight");
+  }
+  for (std::size_t i = 0; i < tlp_.labeled; ++i) {
+    const obs::TimelineLabels labels{{"provider", std::to_string(i)}};
+    tlp_.p_qd.push_back(tl.add_series("provider.queue_depth", labels));
+    tlp_.p_util.push_back(tl.add_series("provider.util", labels));
+    tlp_.p_hit.push_back(tl.add_series("provider.cache_hit_rate", labels));
+    tlp_.p_nic.push_back(tl.add_series("provider.nic_util", labels));
+  }
+
+  // Seed the delta baselines from current component state, so a timeline
+  // enabled mid-run does not book all prior traffic into its first sample.
+  tlp_.prev_traffic = static_cast<double>(network_->total_traffic());
+  tlp_.prev_payload = static_cast<double>(network_->total_payload());
+  tlp_.prev_stored = static_cast<double>(repository_bytes());
+  double nic_busy_all = 0;
+  for (std::size_t i = 0; i < network_->node_count(); ++i) {
+    net::NetNode& nd = network_->node(static_cast<net::NodeId>(i));
+    nic_busy_all += sim::to_seconds(nd.tx().busy_time()) +
+                    sim::to_seconds(nd.rx().busy_time());
+  }
+  tlp_.prev_nic_busy_all = nic_busy_all;
+  tlp_.prev_busy.assign(tlp_.repo_disks, 0.0);
+  tlp_.prev_hits.assign(tlp_.repo_disks, 0.0);
+  tlp_.prev_misses.assign(tlp_.repo_disks, 0.0);
+  for (std::size_t i = 0; i < tlp_.repo_disks; ++i) {
+    storage::Disk& d = repo_disk(i);
+    tlp_.prev_busy[i] = sim::to_seconds(d.busy_time());
+    tlp_.prev_hits[i] = static_cast<double>(d.cache_hits());
+    tlp_.prev_misses[i] = static_cast<double>(d.cache_misses());
+  }
+  tlp_.prev_nic.assign(tlp_.labeled, 0.0);
+  for (std::size_t i = 0; i < tlp_.labeled; ++i) {
+    net::NetNode& nd = network_->node(compute_nodes_[i]);
+    tlp_.prev_nic[i] = sim::to_seconds(nd.tx().busy_time()) +
+                       sim::to_seconds(nd.rx().busy_time());
+  }
+  tlp_.last_t = engine_.now_seconds();
+  tlp_.ready = true;
+}
+
+void Cloud::sample_timeline() {
+  obs::Timeline& tl = obs_.timeline;
+  const double t = engine_.now_seconds();
+  const double dt = t - tlp_.last_t;
+  if (dt <= 0) return;  // same-instant duplicate wakeup
+  tlp_.last_t = t;
+  tl.begin_sample(t);
+  const auto as_d = [](auto v) { return static_cast<double>(v); };
+
+  // Network aggregates: wire throughput and mean NIC busy fraction.
+  const double traffic = as_d(network_->total_traffic());
+  tl.record(tlp_.net_tp, (traffic - tlp_.prev_traffic) / dt);
+  tlp_.prev_traffic = traffic;
+  const double payload = as_d(network_->total_payload());
+  tl.record(tlp_.net_payload, (payload - tlp_.prev_payload) / dt);
+  tlp_.prev_payload = payload;
+  double nic_busy_all = 0;
+  const std::size_t nodes = network_->node_count();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net::NetNode& nd = network_->node(static_cast<net::NodeId>(i));
+    nic_busy_all += sim::to_seconds(nd.tx().busy_time()) +
+                    sim::to_seconds(nd.rx().busy_time());
+  }
+  tl.record(tlp_.util_net,
+            nodes > 0 ? (nic_busy_all - tlp_.prev_nic_busy_all) /
+                            (2.0 * as_d(nodes) * dt)
+                      : 0.0);
+  tlp_.prev_nic_busy_all = nic_busy_all;
+
+  // Repository disks: mean busy fraction, queue depth, and skew. Labeled
+  // providers additionally record their own series.
+  double busy_delta_sum = 0, busy_delta_max = 0, qd_sum = 0;
+  std::uint64_t qd_max = 0;
+  for (std::size_t i = 0; i < tlp_.repo_disks; ++i) {
+    storage::Disk& d = repo_disk(i);
+    const double busy = sim::to_seconds(d.busy_time());
+    const double delta = busy - tlp_.prev_busy[i];
+    tlp_.prev_busy[i] = busy;
+    busy_delta_sum += delta;
+    if (delta > busy_delta_max) busy_delta_max = delta;
+    const std::uint64_t qd = d.queue_depth();
+    qd_sum += as_d(qd);
+    if (qd > qd_max) qd_max = qd;
+    if (i < tlp_.labeled) {
+      tl.record(tlp_.p_qd[i], as_d(qd));
+      tl.record(tlp_.p_util[i], delta / dt);
+      const double hits = as_d(d.cache_hits());
+      const double misses = as_d(d.cache_misses());
+      const double dh = hits - tlp_.prev_hits[i];
+      const double dm = misses - tlp_.prev_misses[i];
+      tlp_.prev_hits[i] = hits;
+      tlp_.prev_misses[i] = misses;
+      tl.record(tlp_.p_hit[i], dh + dm > 0 ? dh / (dh + dm) : 0.0);
+      net::NetNode& nd = network_->node(compute_nodes_[i]);
+      const double nic = sim::to_seconds(nd.tx().busy_time()) +
+                         sim::to_seconds(nd.rx().busy_time());
+      tl.record(tlp_.p_nic[i], (nic - tlp_.prev_nic[i]) / (2.0 * dt));
+      tlp_.prev_nic[i] = nic;
+    }
+  }
+  const double nrepo = as_d(tlp_.repo_disks);
+  tl.record(tlp_.util_repo,
+            tlp_.repo_disks > 0 ? busy_delta_sum / (nrepo * dt) : 0.0);
+  const double mean_delta = tlp_.repo_disks > 0 ? busy_delta_sum / nrepo : 0.0;
+  tl.record(tlp_.imbalance, mean_delta > 0 ? busy_delta_max / mean_delta : 0.0);
+  tl.record(tlp_.qd_mean, tlp_.repo_disks > 0 ? qd_sum / nrepo : 0.0);
+  tl.record(tlp_.qd_max, as_d(qd_max));
+
+  // Local-disk pressure: the fullest dirty-page budget in the fleet. When
+  // this nears 1, write-back throttling binds writers — the Fig. 5(a)
+  // degradation regime.
+  double dirty_frac = 0;
+  const double limit = as_d(cfg_.disk.dirty_limit);
+  if (limit > 0) {
+    Bytes dirty_max = 0;
+    for (const auto& d : disks_) dirty_max = std::max(dirty_max, d->dirty_bytes());
+    dirty_max = std::max(dirty_max, nfs_disk_->dirty_bytes());
+    dirty_frac = std::min(1.0, as_d(dirty_max) / limit);
+  }
+  tl.record(tlp_.util_local, dirty_frac);
+
+  tl.record(tlp_.sim_queue, as_d(engine_.queue_depth()));
+  tl.record(tlp_.sim_tasks, as_d(engine_.live_tasks()));
+
+  const double stored = as_d(repository_bytes());
+  tl.record(tlp_.repo_growth, (stored - tlp_.prev_stored) / dt);
+  tlp_.prev_stored = stored;
+
+  if (tlp_.has_mirror) {
+    Bytes inflight = 0;
+    for (const auto& inst : instances_) {
+      if (inst->ours) {
+        inflight += inst->ours->inflight_chunks() * cfg_.chunk_size;
+      }
+    }
+    tl.record(tlp_.mirror_inflight, as_d(inflight));
+  }
+}
+
+sim::Task<void> Cloud::timeline_sampler() {
+  // Background lane, billed like the Disk flusher: span 0 keeps the
+  // sampler's sleeps and wakeups out of critical-path attribution, so the
+  // workload spans' bucket sums stay closed.
+  engine_.set_current_span(0);
+  const double cadence = obs_.timeline.cadence_seconds();
+  for (;;) {
+    const double now = engine_.now_seconds();
+    // Next absolute grid point strictly after now. The grid is global
+    // (k * cadence from t = 0), so samples from consecutive phases align.
+    double next = (std::floor(now / cadence + 1e-9) + 1.0) * cadence;
+    if (next <= now) next = now + cadence;
+    co_await engine_.sleep_until(sim::from_seconds(next));
+    const std::uint64_t events = engine_.events_processed();
+    const bool idle = events - tlp_.last_events <= 1;
+    tlp_.last_events = events;
+    sample_timeline();
+    // Exit once the workload drained: nothing queued, and either the
+    // sampler is the only live task or the whole interval processed no
+    // event but our own wakeup (covers tasks parked on events nobody will
+    // set — without this the sampler would keep simulated time advancing
+    // forever and run() would never return).
+    if (engine_.queue_depth() == 0 &&
+        (engine_.live_tasks() == 1 || idle)) {
+      break;
+    }
+  }
+}
+
+void Cloud::run_engine() {
+  if (obs_.timeline.enabled()) {
+    if (!tlp_.ready) setup_timeline();
+    tlp_.last_events = engine_.events_processed();
+    engine_.spawn(timeline_sampler());
+  }
+  engine_.run();
+}
+
+std::string Cloud::timeline_json() const {
+  const obs::Timeline& tl = obs_.timeline;
+  if (!tl.enabled()) return "";
+  if (!tlp_.ready) return tl.to_json();
+  obs::PhaseOptions po;
+  po.cadence_seconds = tl.cadence_seconds();
+  const obs::PhaseReport phases = obs::analyze_phases(
+      tl.times(), tl.values(tlp_.util_repo), tl.values(tlp_.util_net),
+      tl.values(tlp_.util_local), po);
+  return tl.to_json(obs::phases_json(phases));
 }
 
 void Cloud::collect_metrics() {
@@ -524,6 +765,31 @@ void Cloud::collect_metrics() {
     reg.gauge("blob.dedup_saved_bytes").set(as_d(store_->dedup_saved_bytes()));
   }
 
+  if (cluster_) {
+    // Per-provider skew summary (the paper's §5.2 load-balance concern),
+    // available with timelines off: platter queue-depth high-water across
+    // providers and the served-bytes imbalance ratio (max/mean; 1.0 is a
+    // perfectly even spread, 0 means no provider traffic yet).
+    const std::size_t np = cluster_->provider_count();
+    std::uint64_t qd_max = 0;
+    double qd_sum = 0, served_sum = 0, served_max = 0;
+    for (std::size_t p = 0; p < np; ++p) {
+      storage::Disk& d = cluster_->disk_of(static_cast<blob::ProviderId>(p));
+      const std::uint64_t qd = d.queue_depth_high_water();
+      qd_sum += as_d(qd);
+      if (qd > qd_max) qd_max = qd;
+      const double served = as_d(d.bytes_read_platter());
+      served_sum += served;
+      if (served > served_max) served_max = served;
+    }
+    reg.gauge("blob.provider.queue_depth_max").set(as_d(qd_max));
+    reg.gauge("blob.provider.queue_depth_mean")
+        .set(np > 0 ? qd_sum / as_d(np) : 0.0);
+    const double served_mean = np > 0 ? served_sum / as_d(np) : 0.0;
+    reg.gauge("blob.provider.imbalance")
+        .set(served_mean > 0 ? served_max / served_mean : 0.0);
+  }
+
   if (strategy_ == Strategy::kOurs) {
     Bytes fetched = 0, gapfill = 0, mirrored = 0, mirror_dirty = 0;
     std::uint64_t fetches = 0, locates = 0, prefetched = 0, waits = 0,
@@ -580,6 +846,18 @@ void Cloud::collect_metrics() {
   reg.gauge("trace.dropped_sampling").set(as_d(obs_.trace.dropped_sampling()));
   reg.gauge("trace.dropped_stray_end")
       .set(as_d(obs_.trace.dropped_stray_end()));
+  // Lane of the first stray end() (-1 while the trace is pairing-clean):
+  // turns "a pairing bug exists" into "start looking at this lane".
+  reg.gauge("trace.first_stray_lane")
+      .set(obs_.trace.has_stray_end() ? as_d(obs_.trace.first_stray_lane())
+                                      : -1.0);
+
+  if (obs_.timeline.enabled()) {
+    reg.gauge("timeline.samples_taken")
+        .set(as_d(obs_.timeline.samples_taken()));
+    reg.gauge("timeline.dropped_samples")
+        .set(as_d(obs_.timeline.dropped_samples()));
+  }
 
   // Host-side numbers (wall clock, RSS) vary run to run on the same seed;
   // they live in the host scope, which to_json() never serializes.

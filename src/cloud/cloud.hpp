@@ -156,6 +156,19 @@ class Cloud {
   std::string trace_jsonl() const { return obs_.trace.jsonl(); }
   std::string trace_chrome_json() const { return obs_.trace.chrome_json(); }
 
+  /// Turns on deterministic time-series sampling: a span-0 background task
+  /// (billed like the Disk flusher, excluded from critpath attribution)
+  /// samples per-provider and aggregate load series every
+  /// cfg.cadence_seconds of simulated time while any phase runs.
+  /// VMSTORM_TIMELINE=1 enables it at construction;
+  /// VMSTORM_TIMELINE_CADENCE overrides the cadence.
+  void enable_timeline(obs::TimelineConfig cfg = obs::TimelineConfig{});
+  bool timeline_enabled() const { return obs_.timeline.enabled(); }
+
+  /// The artifact `timeline` section: sampled series plus the phase
+  /// analyzer's regime segmentation. Empty when sampling is disabled.
+  std::string timeline_json() const;
+
  private:
   struct Instance {
     std::size_t node_index = 0;  // compute node hosting it
@@ -172,6 +185,35 @@ class Cloud {
   std::unique_ptr<Instance> make_instance(std::size_t node_index,
                                           std::uint64_t salt);
   sim::Task<void> snapshot_one(Instance& inst, double started, double* finished);
+
+  // ---- Timeline sampling --------------------------------------------------
+  // Cached series ids and previous cumulative counter values for the
+  // sampler's delta computations. Sized once in setup_timeline(); the
+  // per-sample path only indexes, so sampling allocates nothing.
+  struct TimelineProbe {
+    bool ready = false;
+    double last_t = 0;
+    std::uint64_t last_events = 0;  ///< engine events at the previous sample
+    std::size_t repo_disks = 0;     ///< repository-role disk count
+    std::size_t labeled = 0;        ///< providers with labeled series
+    obs::Timeline::SeriesId net_tp = 0, net_payload = 0, util_net = 0,
+                            util_repo = 0, util_local = 0, sim_queue = 0,
+                            sim_tasks = 0, repo_growth = 0, imbalance = 0,
+                            qd_mean = 0, qd_max = 0, mirror_inflight = 0;
+    bool has_mirror = false;
+    std::vector<obs::Timeline::SeriesId> p_qd, p_util, p_hit, p_nic;
+    double prev_traffic = 0, prev_payload = 0, prev_stored = 0,
+           prev_nic_busy_all = 0;
+    std::vector<double> prev_busy, prev_hits, prev_misses, prev_nic;
+  };
+  storage::Disk& repo_disk(std::size_t i);
+  void setup_timeline();
+  void sample_timeline();
+  sim::Task<void> timeline_sampler();
+  /// Drives the event loop like engine_.run(), spawning a fresh sampler
+  /// first when the timeline is enabled (the sampler exits once it is the
+  /// only live task, so each phase respawns it).
+  void run_engine();
 
   CloudConfig cfg_;
   Strategy strategy_;
@@ -200,6 +242,7 @@ class Cloud {
   mirror::AccessProfile prefetch_profile_;
   std::uint64_t next_salt_ = 1;
   std::size_t next_fresh_node_ = 0;  // for resume_boot placement
+  TimelineProbe tlp_;
 };
 
 }  // namespace vmstorm::cloud

@@ -75,6 +75,10 @@ class SimVirtualDisk {
   const SimDiskStats& stats() const { return stats_; }
   const LocalState& local_state() const { return state_; }
 
+  /// Chunks with a transfer currently in flight (prefetch or demand) — the
+  /// timeline's bytes-in-flight signal reads this times the chunk size.
+  std::size_t inflight_chunks() const { return inflight_.size(); }
+
  private:
   /// Fetches the given missing ranges: one locate per request, then
   /// parallel per-chunk transfers, then local mirror write-back. The

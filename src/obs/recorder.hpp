@@ -6,6 +6,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace vmstorm::obs {
@@ -13,6 +14,7 @@ namespace vmstorm::obs {
 struct Recorder {
   Registry metrics;
   Tracer trace;
+  Timeline timeline;
 };
 
 }  // namespace vmstorm::obs

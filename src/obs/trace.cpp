@@ -171,7 +171,12 @@ void Tracer::end(double ts, std::uint32_t lane, std::string_view cat,
   if (it == begin_depth_.end() || it->second == 0) {
     // Unbalanced end: emitting it would produce a malformed Chrome trace, so
     // count the error and drop the event. Surfaced as trace.dropped_stray_end
-    // (and the legacy trace.pairing_errors gauge).
+    // (and the legacy trace.pairing_errors gauge); the first offender's lane
+    // is kept so the trace.first_stray_lane gauge can name the culprit.
+    if (!has_stray_end_) {
+      has_stray_end_ = true;
+      first_stray_lane_ = lane;
+    }
     ++pairing_errors_;
     return;
   }
@@ -221,6 +226,8 @@ void Tracer::clear() {
   sampled_bits_.swap(no_bits);
   begin_depth_.clear();
   pairing_errors_ = 0;
+  has_stray_end_ = false;
+  first_stray_lane_ = 0;
   last_id_ = 0;
 }
 

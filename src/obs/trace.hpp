@@ -159,6 +159,12 @@ class Tracer {
   std::uint64_t pairing_errors() const { return pairing_errors_; }
   std::uint64_t open_begins() const;
 
+  /// Lane of the first stray end() this tracer dropped — the drop counter
+  /// alone says a pairing bug exists somewhere; the lane says where to
+  /// start looking. Valid only while has_stray_end() is true.
+  bool has_stray_end() const { return has_stray_end_; }
+  std::uint32_t first_stray_lane() const { return first_stray_lane_; }
+
   // ---- Drop accounting, by cause -----------------------------------------
   /// Oldest events overwritten because the ring was full.
   std::uint64_t dropped_ring() const { return dropped_ring_; }
@@ -209,6 +215,8 @@ class Tracer {
   bool enabled_ = false;
   SpanId last_id_ = 0;
   std::uint64_t pairing_errors_ = 0;
+  bool has_stray_end_ = false;
+  std::uint32_t first_stray_lane_ = 0;
   std::map<std::uint32_t, std::uint64_t> begin_depth_;  ///< per-lane open begins
 
   // Ring sink. ring_.size() grows on demand up to capacity_; slot k of

@@ -48,6 +48,8 @@ class FifoServer {
     busy_time_ += duration;
     bytes_served_ += bytes;
     ++requests_;
+    ++inflight_;
+    if (inflight_ > inflight_hw_) inflight_hw_ = inflight_;
     if (trace_name_ != nullptr) {
       if (obs::Tracer* tr = live_tracer(*engine_)) {
         const std::uint64_t span = engine_->current_span();
@@ -63,6 +65,7 @@ class FifoServer {
       }
     }
     co_await engine_->sleep_until(busy_until_);
+    --inflight_;
   }
 
   /// Service time for n bytes, excluding queueing and overhead.
@@ -88,6 +91,14 @@ class FifoServer {
   SimTime total_queue_wait() const { return total_queue_wait_; }
   SimTime max_queue_wait() const { return max_queue_wait_; }
 
+  /// Requests between arrival and completion right now (queued or in
+  /// service) and the high-water mark over the server's lifetime — the
+  /// queue-depth signal the timeline sampler and the per-provider skew
+  /// gauges read. Pure arithmetic on the existing analytic model: no
+  /// request objects are materialized.
+  std::uint64_t inflight() const { return inflight_; }
+  std::uint64_t inflight_high_water() const { return inflight_hw_; }
+
  private:
   Engine* engine_;
   BytesPerSecond rate_;
@@ -101,6 +112,8 @@ class FifoServer {
   SimTime max_queue_wait_ = 0;
   Bytes bytes_served_ = 0;
   std::uint64_t requests_ = 0;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t inflight_hw_ = 0;
 };
 
 }  // namespace vmstorm::sim

@@ -77,6 +77,11 @@ class Disk {
 
   bool cached(std::uint64_t key) const { return cache_map_.count(key) > 0; }
   Bytes dirty_bytes() const { return dirty_bytes_; }
+  /// Platter requests queued or in service now / at the busiest instant.
+  std::uint64_t queue_depth() const { return platter_.inflight(); }
+  std::uint64_t queue_depth_high_water() const {
+    return platter_.inflight_high_water();
+  }
   Bytes bytes_read_platter() const { return platter_.bytes_served(); }
   sim::SimTime busy_time() const { return platter_.busy_time(); }
   sim::SimTime queue_wait_time() const { return platter_.total_queue_wait(); }

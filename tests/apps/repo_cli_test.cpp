@@ -5,6 +5,8 @@
 #include <fstream>
 
 #include "blob/chunk.hpp"
+#include "obs/phases.hpp"
+#include "obs/timeline.hpp"
 
 namespace vmstorm::apps {
 namespace {
@@ -97,6 +99,101 @@ TEST_F(CliFixture, ErrorsAreReported) {
   EXPECT_FALSE(run_repo_cli({"upload", repo, "/nonexistent/file"}).is_ok());
   EXPECT_FALSE(run_repo_cli({"upload", repo, "--chunk"}).is_ok());
   EXPECT_FALSE(run_repo_cli({"download", repo, "1", "9", "/tmp/x"}).is_ok());
+}
+
+class CliTimeline : public ::testing::Test {
+ protected:
+  std::string write_artifact(const std::string& body) {
+    path_ = ::testing::TempDir() + "/cli_timeline_" +
+            std::to_string(::getpid()) + ".json";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << body;
+    return path_;
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  /// A small valid artifact produced by the real export code: four samples
+  /// whose argmax walks repo -> network -> local-disk -> idle.
+  static std::string small_artifact() {
+    obs::Timeline tl;
+    obs::TimelineConfig cfg;
+    cfg.cadence_seconds = 1.0;
+    cfg.capacity = 8;
+    tl.configure(cfg);
+    const auto tp = tl.add_series("net.throughput_bytes_per_sec");
+    const auto un = tl.add_series("util.network");
+    const auto ur = tl.add_series("util.repo_disk");
+    const auto ul = tl.add_series("util.local_disk");
+    const auto pu = tl.add_series("provider.util", {{"provider", "0"}});
+    const double net[] = {0.2, 0.8, 0.1, 0.01};
+    const double repo[] = {0.9, 0.3, 0.2, 0.01};
+    const double local[] = {0.0, 0.0, 0.6, 0.01};
+    for (int i = 0; i < 4; ++i) {
+      tl.begin_sample(static_cast<double>(i + 1));
+      tl.record(tp, 1e7 * (i + 1));
+      tl.record(un, net[i]);
+      tl.record(ur, repo[i]);
+      tl.record(ul, local[i]);
+      tl.record(pu, repo[i]);
+    }
+    obs::PhaseOptions opts;
+    opts.cadence_seconds = 1.0;
+    const obs::PhaseReport rep = obs::analyze_phases(
+        tl.times(), tl.values(ur), tl.values(un), tl.values(ul), opts);
+    return "{\"schema\":\"vmstorm-bench-v3\",\"name\":\"tltest\","
+           "\"timeline\":" +
+           tl.to_json(obs::phases_json(rep)) + "}";
+  }
+
+  std::string path_;
+};
+
+TEST_F(CliTimeline, RendersSparklinesStripAndPhases) {
+  const std::string path = write_artifact(small_artifact());
+  auto r = run_repo_cli({"timeline", path});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_NE(r->find("4 samples"), std::string::npos);
+  EXPECT_NE(r->find("net.throughput_bytes_per_sec"), std::string::npos);
+  // One sample per regime, in order: the strip reads RND followed by idle.
+  EXPECT_NE(r->find("|RND."), std::string::npos);
+  EXPECT_NE(r->find("repo_bound"), std::string::npos);
+  EXPECT_NE(r->find("local_disk_bound"), std::string::npos);
+  EXPECT_NE(r->find("provider disk utilization"), std::string::npos);
+  EXPECT_NE(r->find("(closed)"), std::string::npos);
+  EXPECT_NE(r->find("recomputed segmentation matches"), std::string::npos);
+}
+
+TEST_F(CliTimeline, RenderIsDeterministic) {
+  const std::string path = write_artifact(small_artifact());
+  auto a = run_repo_cli({"timeline", path});
+  auto b = run_repo_cli({"timeline", path});
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(CliTimeline, RejectsArtifactWithoutTimeline) {
+  const std::string path = write_artifact(
+      "{\"schema\":\"vmstorm-bench-v3\",\"name\":\"x\",\"timeline\":null}");
+  auto r = run_repo_cli({"timeline", path});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().to_string().find("no timeline section"),
+            std::string::npos);
+}
+
+TEST_F(CliTimeline, RejectsTamperedPhaseTotals) {
+  // Recomputing the segmentation from the series must expose an embedded
+  // phases object that doesn't match them.
+  std::string body = small_artifact();
+  const std::string needle = "\"totals\":{\"idle\":1";
+  const auto pos = body.find(needle);
+  ASSERT_NE(pos, std::string::npos) << body;
+  body.replace(pos, needle.size(), "\"totals\":{\"idle\":3");
+  const std::string path = write_artifact(body);
+  auto r = run_repo_cli({"timeline", path});
+  EXPECT_FALSE(r.is_ok());
 }
 
 TEST(CliParse, Sizes) {

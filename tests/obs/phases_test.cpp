@@ -1,0 +1,164 @@
+// Bottleneck-phase analyzer: classification, segmentation, closed sums,
+// and the cross-check against critical-path attribution.
+#include "obs/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/critpath.hpp"
+#include "obs/json.hpp"
+
+namespace vmstorm::obs {
+namespace {
+
+PhaseOptions opts(double cadence = 1.0, double idle = 0.05) {
+  PhaseOptions o;
+  o.cadence_seconds = cadence;
+  o.idle_threshold = idle;
+  return o;
+}
+
+std::vector<double> grid(std::size_t n, double cadence = 1.0) {
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = cadence * static_cast<double>(i + 1);
+  return t;
+}
+
+TEST(Phases, EmptyInputYieldsEmptyReport) {
+  const PhaseReport r = analyze_phases({}, {}, {}, {}, opts());
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.duration, 0.0);
+  EXPECT_TRUE(r.segments.empty());
+  EXPECT_TRUE(check_phase_report(r).is_ok());
+}
+
+TEST(Phases, ClassifiesByArgmaxSignal) {
+  // repo-bound, then network-bound, then local-disk-bound, then idle.
+  const PhaseReport r = analyze_phases(grid(4),
+                                       {0.9, 0.2, 0.1, 0.01},   // repo
+                                       {0.3, 0.8, 0.2, 0.01},   // net
+                                       {0.1, 0.1, 0.7, 0.01},   // local
+                                       opts());
+  ASSERT_EQ(r.segments.size(), 4u);
+  EXPECT_EQ(r.segments[0].regime, Regime::kRepoBound);
+  EXPECT_EQ(r.segments[1].regime, Regime::kNetworkBound);
+  EXPECT_EQ(r.segments[2].regime, Regime::kLocalDiskBound);
+  EXPECT_EQ(r.segments[3].regime, Regime::kIdle);
+  EXPECT_DOUBLE_EQ(r.duration, 4.0);
+  EXPECT_DOUBLE_EQ(r.start, 0.0);
+}
+
+TEST(Phases, ExactTiesBreakInEnumOrder) {
+  // All three equal and above threshold: repo wins (earliest in the enum);
+  // net == local with repo below them: network wins over local disk.
+  const PhaseReport r =
+      analyze_phases(grid(2), {0.5, 0.2}, {0.5, 0.5}, {0.5, 0.5}, opts());
+  ASSERT_EQ(r.segments.size(), 2u);
+  EXPECT_EQ(r.segments[0].regime, Regime::kRepoBound);
+  EXPECT_EQ(r.segments[1].regime, Regime::kNetworkBound);
+}
+
+TEST(Phases, IdleThresholdGatesNoise) {
+  const PhaseReport r = analyze_phases(grid(2), {0.04, 0.06}, {0.04, 0.01},
+                                       {0.04, 0.01}, opts());
+  ASSERT_EQ(r.segments.size(), 2u);
+  EXPECT_EQ(r.segments[0].regime, Regime::kIdle);
+  EXPECT_EQ(r.segments[1].regime, Regime::kRepoBound);
+}
+
+TEST(Phases, ConsecutiveSamplesMergeIntoSegments) {
+  const PhaseReport r = analyze_phases(
+      grid(5), {0.9, 0.9, 0.1, 0.9, 0.9}, {0.1, 0.1, 0.8, 0.1, 0.1},
+      {0.0, 0.0, 0.0, 0.0, 0.0}, opts());
+  ASSERT_EQ(r.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.segments[0].seconds, 2.0);
+  EXPECT_DOUBLE_EQ(r.segments[1].seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.segments[2].seconds, 2.0);
+}
+
+TEST(Phases, TotalsSumToDurationByConstruction) {
+  // Irregular timestamps (sampler fell behind): deltas still tile.
+  const std::vector<double> t = {0.25, 0.5, 1.25, 1.5};
+  const PhaseReport r = analyze_phases(t, {0.9, 0.1, 0.9, 0.1},
+                                       {0.1, 0.9, 0.1, 0.01},
+                                       {0.0, 0.0, 0.0, 0.0}, opts(0.25));
+  double sum = 0;
+  for (double v : r.totals) sum += v;
+  EXPECT_DOUBLE_EQ(sum, r.duration);
+  EXPECT_DOUBLE_EQ(r.duration, 1.5);  // 0.25 + 0.25 + 0.75 + 0.25
+  EXPECT_TRUE(check_phase_report(r).is_ok());
+}
+
+TEST(Phases, CheckRejectsTamperedTotals) {
+  PhaseReport r = analyze_phases(grid(3), {0.9, 0.9, 0.9}, {0.1, 0.1, 0.1},
+                                 {0.0, 0.0, 0.0}, opts());
+  r.totals[0] += 0.5;
+  EXPECT_FALSE(check_phase_report(r).is_ok());
+}
+
+TEST(Phases, CheckRejectsNonContiguousSegments) {
+  PhaseReport r = analyze_phases(
+      grid(4), {0.9, 0.9, 0.1, 0.1}, {0.1, 0.1, 0.9, 0.9},
+      {0.0, 0.0, 0.0, 0.0}, opts());
+  ASSERT_EQ(r.segments.size(), 2u);
+  r.segments[1].start += 0.25;
+  EXPECT_FALSE(check_phase_report(r).is_ok());
+}
+
+TEST(Phases, JsonHasClosedEnumAndClosedSums) {
+  const PhaseReport r = analyze_phases(grid(3), {0.9, 0.1, 0.01},
+                                       {0.1, 0.8, 0.01}, {0.0, 0.0, 0.0},
+                                       opts());
+  auto doc = parse_json(phases_json(r));
+  ASSERT_TRUE(doc.is_ok());
+  const auto& regimes = (*doc)["regimes"].items();
+  ASSERT_EQ(regimes.size(), kRegimeCount);
+  EXPECT_EQ(regimes[0].as_string(), "idle");
+  EXPECT_EQ(regimes[1].as_string(), "repo_bound");
+  EXPECT_EQ(regimes[2].as_string(), "network_bound");
+  EXPECT_EQ(regimes[3].as_string(), "local_disk_bound");
+  double sum = 0;
+  for (const auto& [key, v] : (*doc)["totals"].members()) sum += v.as_number();
+  EXPECT_DOUBLE_EQ(sum, (*doc)["duration_seconds"].as_number());
+  EXPECT_EQ((*doc)["samples"].as_number(), 3.0);
+}
+
+CritRow crit_row(double start, double seconds) {
+  CritRow row;
+  row.kind = "deploy";
+  row.start = start;
+  row.seconds = seconds;
+  row.buckets[0] = seconds;  // closed: one bucket carries the whole span
+  return row;
+}
+
+TEST(Phases, CrossCheckAcceptsContainedSpans) {
+  const PhaseReport r = analyze_phases(grid(10), std::vector<double>(10, 0.9),
+                                       std::vector<double>(10, 0.1),
+                                       std::vector<double>(10, 0.0), opts());
+  CritReport crit;
+  crit.rows.push_back(crit_row(0.5, 8.0));
+  EXPECT_TRUE(cross_check_attribution(r, crit).is_ok());
+}
+
+TEST(Phases, CrossCheckRejectsSpanOutsideTheWindow) {
+  const PhaseReport r = analyze_phases(grid(10), std::vector<double>(10, 0.9),
+                                       std::vector<double>(10, 0.1),
+                                       std::vector<double>(10, 0.0), opts());
+  CritReport crit;
+  crit.rows.push_back(crit_row(5.0, 50.0));  // ends far past the timeline
+  EXPECT_FALSE(cross_check_attribution(r, crit).is_ok());
+}
+
+TEST(Phases, CrossCheckRejectsOpenBucketSums) {
+  const PhaseReport r = analyze_phases(grid(10), std::vector<double>(10, 0.9),
+                                       std::vector<double>(10, 0.1),
+                                       std::vector<double>(10, 0.0), opts());
+  CritReport crit;
+  CritRow row = crit_row(1.0, 2.0);
+  row.buckets[0] = 1.0;  // buckets no longer tile the span
+  crit.rows.push_back(row);
+  EXPECT_FALSE(cross_check_attribution(r, crit).is_ok());
+}
+
+}  // namespace
+}  // namespace vmstorm::obs

@@ -1,0 +1,123 @@
+// Timeline recorder: ring semantics, zero-fill, deterministic export.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace vmstorm::obs {
+namespace {
+
+TimelineConfig tiny(std::size_t capacity, double cadence = 0.5) {
+  TimelineConfig cfg;
+  cfg.capacity = capacity;
+  cfg.cadence_seconds = cadence;
+  return cfg;
+}
+
+TEST(Timeline, RecordsAndExportsInOrder) {
+  Timeline tl;
+  tl.configure(tiny(8));
+  const auto a = tl.add_series("a");
+  const auto b = tl.add_series("b");
+  for (int i = 0; i < 3; ++i) {
+    tl.begin_sample(0.5 * (i + 1));
+    tl.record(a, 10.0 * i);
+    tl.record(b, 100.0 + i);
+  }
+  EXPECT_EQ(tl.samples_taken(), 3u);
+  EXPECT_EQ(tl.samples_retained(), 3u);
+  EXPECT_EQ(tl.dropped_samples(), 0u);
+  EXPECT_EQ(tl.times(), (std::vector<double>{0.5, 1.0, 1.5}));
+  EXPECT_EQ(tl.values(a), (std::vector<double>{0.0, 10.0, 20.0}));
+  EXPECT_EQ(tl.values(b), (std::vector<double>{100.0, 101.0, 102.0}));
+}
+
+TEST(Timeline, RingKeepsTheNewestWindow) {
+  Timeline tl;
+  tl.configure(tiny(4));
+  const auto a = tl.add_series("a");
+  for (int i = 0; i < 10; ++i) {
+    tl.begin_sample(static_cast<double>(i));
+    tl.record(a, static_cast<double>(i));
+  }
+  EXPECT_EQ(tl.samples_taken(), 10u);
+  EXPECT_EQ(tl.samples_retained(), 4u);
+  EXPECT_EQ(tl.dropped_samples(), 6u);
+  // Oldest-first window ending at the final sample.
+  EXPECT_EQ(tl.times(), (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+  EXPECT_EQ(tl.values(a), (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(Timeline, BeginSampleZeroFillsEverySeries) {
+  // A series not record()ed this sample must read 0, not a stale wrapped
+  // value from a previous lap of the ring.
+  Timeline tl;
+  tl.configure(tiny(2));
+  const auto a = tl.add_series("a");
+  tl.begin_sample(1.0);
+  tl.record(a, 7.0);
+  tl.begin_sample(2.0);
+  tl.record(a, 8.0);
+  tl.begin_sample(3.0);  // wraps onto the slot that held 7.0; not recorded
+  EXPECT_EQ(tl.values(a), (std::vector<double>{8.0, 0.0}));
+}
+
+TEST(Timeline, FindSeriesReturnsCountWhenAbsent) {
+  Timeline tl;
+  tl.configure(tiny(2));
+  const auto a = tl.add_series("a");
+  EXPECT_EQ(tl.find_series("a"), a);
+  EXPECT_EQ(tl.find_series("nope"), tl.series_count());
+}
+
+TEST(Timeline, ClearDropsSamplesButKeepsSeries) {
+  Timeline tl;
+  tl.configure(tiny(4));
+  const auto a = tl.add_series("a");
+  tl.begin_sample(1.0);
+  tl.record(a, 5.0);
+  tl.clear();
+  EXPECT_EQ(tl.samples_taken(), 0u);
+  EXPECT_EQ(tl.series_count(), 1u);
+  EXPECT_TRUE(tl.times().empty());
+}
+
+TEST(Timeline, ExportShapeAndDeterminism) {
+  const auto build = [] {
+    Timeline tl;
+    tl.configure(tiny(8, 0.25));
+    const auto a = tl.add_series("util", {{"provider", "3"}});
+    tl.begin_sample(0.25);
+    tl.record(a, 0.5);
+    return tl.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());  // same inputs, byte-identical export
+
+  auto doc = parse_json(json);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ((*doc)["cadence_seconds"].as_number(), 0.25);
+  EXPECT_EQ((*doc)["samples"].as_number(), 1.0);
+  EXPECT_EQ((*doc)["dropped_samples"].as_number(), 0.0);
+  ASSERT_EQ((*doc)["series"].items().size(), 1u);
+  const JsonValue& s = (*doc)["series"].items()[0];
+  EXPECT_EQ(s["name"].as_string(), "util");
+  EXPECT_EQ(s["labels"]["provider"].as_string(), "3");
+  ASSERT_EQ(s["values"].items().size(), 1u);
+  EXPECT_EQ(s["values"].items()[0].as_number(), 0.5);
+  EXPECT_TRUE((*doc)["phases"].is_null());  // none embedded
+}
+
+TEST(Timeline, PhasesRawIsEmbeddedVerbatim) {
+  Timeline tl;
+  tl.configure(tiny(2));
+  tl.add_series("a");
+  tl.begin_sample(1.0);
+  auto doc = parse_json(tl.to_json(R"({"x":1})"));
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ((*doc)["phases"]["x"].as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace vmstorm::obs

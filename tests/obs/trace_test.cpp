@@ -105,6 +105,20 @@ TEST(Tracer, UnmatchedEndIsCountedAndDropped) {
   EXPECT_EQ(t.open_begins(), 0u);
 }
 
+TEST(Tracer, FirstStrayLaneIsLatched) {
+  Tracer t;
+  t.set_enabled(true);
+  EXPECT_FALSE(t.has_stray_end());
+  t.end(1.0, 7, "vm", "boot");
+  t.end(2.0, 3, "vm", "boot");
+  EXPECT_TRUE(t.has_stray_end());
+  // The first offender is kept, later strays don't overwrite it.
+  EXPECT_EQ(t.first_stray_lane(), 7u);
+  t.clear();
+  EXPECT_FALSE(t.has_stray_end());
+  EXPECT_EQ(t.first_stray_lane(), 0u);
+}
+
 TEST(Tracer, RingWrapKeepsNewestAndCountsDrops) {
   Tracer t;
   t.set_enabled(true);

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regress.py.
+
+Builds fresh/baseline artifact pairs in memory and runs them through
+compare(), pinning down the exact-vs-banded split: deterministic "sim"
+counters must match bit-for-bit, host measurements get tolerance bands,
+and config drift is reported as a stale baseline rather than a regression.
+"""
+import copy
+import importlib.util
+import pathlib
+import sys
+import unittest
+
+TOOL = (pathlib.Path(__file__).resolve().parents[2] / "tools"
+        / "check_bench_regress.py")
+spec = importlib.util.spec_from_file_location("check_bench_regress", TOOL)
+cbr = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbr)
+
+
+def arm(name, events=100000.0, rss=1 << 24):
+    return {"name": name, "wall_seconds": 1.0, "events_per_sec": events,
+            "peak_rss_bytes": rss}
+
+
+def doc():
+    return {
+        "schema": "vmstorm-engine-v1",
+        "quick": True,
+        "config": {"seed": 2011, "fingerprint": "0123456789abcdef"},
+        "sim": {"events_processed": 180791, "events_scheduled": 190000,
+                "trace": {"recorded": 1000, "dropped_ring": 0}},
+        "timeline": {"cadence_seconds": 0.25, "samples": 14,
+                     "time": [0.25, 0.5], "series": []},
+        "overhead": {"arms": [arm("off"), arm("sampled"), arm("full")]},
+    }
+
+
+class RegressTest(unittest.TestCase):
+    def test_identical_artifacts_pass(self):
+        self.assertEqual(cbr.compare(doc(), doc()), [])
+
+    def test_sim_drift_is_exact_fail(self):
+        fresh = doc()
+        fresh["sim"]["events_processed"] += 1
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("sim.events_processed" in e for e in errors))
+
+    def test_nested_trace_drift_fails(self):
+        fresh = doc()
+        fresh["sim"]["trace"]["recorded"] += 1
+        self.assertTrue(cbr.compare(fresh, doc()))
+
+    def test_timeline_drift_fails(self):
+        fresh = doc()
+        fresh["timeline"]["time"][1] = 0.75
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("timeline" in e for e in errors))
+
+    def test_missing_baseline_timeline_is_skipped(self):
+        # Baselines from builds that predate the timeline lack the key;
+        # that must not fail the fresh artifact.
+        baseline = doc()
+        del baseline["timeline"]
+        self.assertEqual(cbr.compare(doc(), baseline), [])
+
+    def test_null_baseline_timeline_is_skipped(self):
+        baseline = doc()
+        baseline["timeline"] = None
+        self.assertEqual(cbr.compare(doc(), baseline), [])
+
+    def test_events_per_sec_within_band_passes(self):
+        fresh = doc()
+        for a in fresh["overhead"]["arms"]:
+            a["events_per_sec"] = 30000.0  # 70% drop < default 75% band
+        self.assertEqual(cbr.compare(fresh, doc()), [])
+
+    def test_events_per_sec_collapse_fails(self):
+        fresh = doc()
+        fresh["overhead"]["arms"][0]["events_per_sec"] = 10000.0  # 90% drop
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("off.events_per_sec" in e for e in errors))
+
+    def test_events_band_is_configurable(self):
+        fresh = doc()
+        fresh["overhead"]["arms"][0]["events_per_sec"] = 95000.0
+        self.assertEqual(cbr.compare(fresh, doc()), [])
+        errors = cbr.compare(fresh, doc(), events_tolerance=0.01)
+        self.assertTrue(errors)
+
+    def test_rss_growth_beyond_band_fails(self):
+        fresh = doc()
+        fresh["overhead"]["arms"][2]["peak_rss_bytes"] = 1 << 26  # 4x
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("full.peak_rss_bytes" in e for e in errors))
+
+    def test_faster_and_smaller_never_fails(self):
+        fresh = doc()
+        for a in fresh["overhead"]["arms"]:
+            a["events_per_sec"] *= 10
+            a["peak_rss_bytes"] //= 4
+        self.assertEqual(cbr.compare(fresh, doc()), [])
+
+    def test_missing_arm_fails(self):
+        fresh = doc()
+        fresh["overhead"]["arms"] = fresh["overhead"]["arms"][:2]
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("arm 'full' missing" in e for e in errors))
+
+    def test_fingerprint_drift_is_stale_not_regressed(self):
+        fresh = doc()
+        fresh["config"]["fingerprint"] = "fedcba9876543210"
+        fresh["sim"]["events_processed"] += 12345  # would fail exact compare
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(all("stale baseline" in e for e in errors))
+
+    def test_quick_flag_mismatch_is_stale(self):
+        fresh = doc()
+        fresh["quick"] = False
+        errors = cbr.compare(fresh, doc())
+        self.assertTrue(any("stale baseline" in e and "quick" in e
+                            for e in errors))
+
+    def test_default_baseline_picked_by_quick_flag(self):
+        quick = cbr.default_baseline({"quick": True})
+        full = cbr.default_baseline({"quick": False})
+        self.assertEqual(quick.name, "BENCH_engine_quick.json")
+        self.assertEqual(full.name, "BENCH_engine.json")
+        self.assertEqual(quick.parent, full.parent)
+        self.assertEqual(quick.parent.name, "baselines")
+
+    def test_compare_does_not_mutate_inputs(self):
+        fresh, baseline = doc(), doc()
+        snap_f, snap_b = copy.deepcopy(fresh), copy.deepcopy(baseline)
+        cbr.compare(fresh, baseline)
+        self.assertEqual(fresh, snap_f)
+        self.assertEqual(baseline, snap_b)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -61,6 +61,143 @@ def check(doc):
     return errors
 
 
+def timeline_section(samples=4, cadence=0.25):
+    time = [cadence * (i + 1) for i in range(samples)]
+    series = [
+        {"name": "util.repo_disk", "labels": {},
+         "values": [0.9] * samples},
+        {"name": "provider.util", "labels": {"provider": "0"},
+         "values": [0.5] * samples},
+    ]
+    duration = samples * cadence
+    return {
+        "cadence_seconds": cadence,
+        "samples": samples,
+        "samples_taken": samples,
+        "dropped_samples": 0,
+        "time": time,
+        "series": series,
+        "phases": {
+            "regimes": ["idle", "repo_bound", "network_bound",
+                        "local_disk_bound"],
+            "segments": [{"regime": "repo_bound", "start": 0.0,
+                          "seconds": duration}],
+            "totals": {"idle": 0.0, "repo_bound": duration,
+                       "network_bound": 0.0, "local_disk_bound": 0.0},
+            "start": 0.0,
+            "duration_seconds": duration,
+            "samples": samples,
+        },
+    }
+
+
+def v3_doc():
+    return {
+        "schema": "vmstorm-bench-v3",
+        "name": "fig4",
+        "figure": "Figure 4",
+        "title": "t",
+        "quick": True,
+        "config": {"fingerprint": "0123456789abcdef"},
+        "panels": [{"title": "p", "series": [
+            {"name": "ours", "points": [{"x": 1, "y": 2.0}]}]}],
+        "metrics": None,
+        "attribution": None,
+        "timeline": timeline_section(),
+    }
+
+
+class TimelineSchemaTest(unittest.TestCase):
+    def test_valid_v3_passes(self):
+        self.assertEqual(check(v3_doc()), [])
+
+    def test_null_timeline_passes(self):
+        doc = v3_doc()
+        doc["timeline"] = None
+        self.assertEqual(check(doc), [])
+
+    def test_missing_timeline_key_rejected(self):
+        doc = v3_doc()
+        del doc["timeline"]
+        self.assertTrue(any("'timeline' key missing" in e
+                            for e in check(doc)))
+
+    def test_v2_does_not_require_timeline(self):
+        doc = v3_doc()
+        doc["schema"] = "vmstorm-bench-v2"
+        del doc["timeline"]
+        self.assertEqual(check(doc), [])
+
+    def test_time_must_be_strictly_increasing(self):
+        doc = v3_doc()
+        doc["timeline"]["time"][2] = doc["timeline"]["time"][1]
+        self.assertTrue(any("strictly after" in e for e in check(doc)))
+
+    def test_series_length_must_match_time(self):
+        doc = v3_doc()
+        doc["timeline"]["series"][0]["values"].append(0.0)
+        self.assertTrue(any("exactly 4 entries" in e for e in check(doc)))
+
+    def test_window_must_match_cadence_when_nothing_dropped(self):
+        doc = v3_doc()
+        doc["timeline"]["time"] = [0.25, 0.5, 0.75, 2.0]
+        self.assertTrue(any("(samples-1)*cadence" in e for e in check(doc)))
+
+    def test_wrapped_ring_relaxes_the_grid_check(self):
+        doc = v3_doc()
+        doc["timeline"]["time"] = [0.25, 0.5, 0.75, 2.0]
+        doc["timeline"]["samples_taken"] = 10
+        doc["timeline"]["dropped_samples"] = 6
+        self.assertEqual(check(doc), [])
+
+    def test_retained_count_bookkeeping(self):
+        doc = v3_doc()
+        doc["timeline"]["samples_taken"] = 10  # dropped stays 0
+        self.assertTrue(any("retained" in e for e in check(doc)))
+
+    def test_regime_enum_is_closed(self):
+        doc = v3_doc()
+        doc["timeline"]["phases"]["segments"][0]["regime"] = "gpu_bound"
+        self.assertTrue(any("closed" in e for e in check(doc)))
+        doc2 = v3_doc()
+        doc2["timeline"]["phases"]["regimes"].append("gpu_bound")
+        self.assertTrue(any("regimes" in e for e in check(doc2)))
+
+    def test_totals_keys_are_exactly_the_enum(self):
+        doc = v3_doc()
+        del doc["timeline"]["phases"]["totals"]["idle"]
+        self.assertTrue(any("totals keys" in e for e in check(doc)))
+
+    def test_totals_must_sum_to_duration(self):
+        doc = v3_doc()
+        doc["timeline"]["phases"]["totals"]["idle"] = 0.5
+        self.assertTrue(any("totals sum" in e for e in check(doc)))
+
+    def test_segments_must_be_contiguous(self):
+        doc = v3_doc()
+        ph = doc["timeline"]["phases"]
+        ph["segments"] = [
+            {"regime": "repo_bound", "start": 0.0, "seconds": 0.5},
+            {"regime": "idle", "start": 0.75, "seconds": 0.5},  # gap
+        ]
+        ph["totals"] = {"idle": 0.5, "repo_bound": 0.5,
+                        "network_bound": 0.0, "local_disk_bound": 0.0}
+        self.assertTrue(any("not contiguous" in e for e in check(doc)))
+
+    def test_phase_samples_must_match_timeline(self):
+        doc = v3_doc()
+        doc["timeline"]["phases"]["samples"] = 99
+        self.assertTrue(any("phases.samples" in e for e in check(doc)))
+
+    def test_engine_artifact_accepts_optional_timeline(self):
+        doc = engine_doc()
+        self.assertEqual(check(doc), [])  # absent is fine (old artifacts)
+        doc["timeline"] = timeline_section()
+        self.assertEqual(check(doc), [])
+        doc["timeline"]["cadence_seconds"] = 0
+        self.assertTrue(any("cadence_seconds" in e for e in check(doc)))
+
+
 class EngineSchemaTest(unittest.TestCase):
     def test_valid_full_artifact_passes(self):
         self.assertEqual(check(engine_doc()), [])

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against a committed baseline.
+
+Usage:  check_bench_regress.py FRESH.json [--baseline PATH]
+            [--events-tolerance F] [--rss-tolerance F]
+
+Two kinds of comparison, split by what determinism guarantees:
+
+  sim       The deterministic engine counters (and the trace volume
+            accounting) are a pure function of the seed, so they must match
+            the baseline EXACTLY — any drift means the simulation's event
+            order changed, which is a behavioral regression however small.
+            The optional "timeline" section is deterministic too (sampled
+            on the simulated clock) and is compared exactly when both
+            artifacts carry it.
+
+  overhead  Host measurements (events/sec, peak RSS per arm) vary with the
+            machine, so they get a tolerance band: events/sec may drop at
+            most --events-tolerance (default 0.75, i.e. a >4x slowdown
+            fails) below the baseline, peak RSS may exceed it by at most
+            --rss-tolerance (default 0.5). Wide by design — the gate
+            catches order-of-magnitude regressions, not noise.
+
+Mismatched schema, quick flag, or config fingerprint means the baseline is
+stale rather than the build regressed; that fails with a distinct message
+telling you to regenerate bench/baselines/.
+
+Default baseline: bench/baselines/BENCH_engine_quick.json when the fresh
+artifact says "quick": true, else bench/baselines/BENCH_engine.json, both
+relative to the repository root (this script's grandparent directory).
+
+Exits non-zero and prints one line per violation. Pure stdlib.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_EVENTS_TOLERANCE = 0.75
+DEFAULT_RSS_TOLERANCE = 0.5
+
+
+def _number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def compare(fresh, baseline, events_tolerance=DEFAULT_EVENTS_TOLERANCE,
+            rss_tolerance=DEFAULT_RSS_TOLERANCE):
+    """Returns a list of violation strings (empty = no regression)."""
+    errors = []
+    for key in ("schema", "quick"):
+        if fresh.get(key) != baseline.get(key):
+            errors.append(
+                f"stale baseline: {key} is {baseline.get(key)!r} in the "
+                f"baseline but {fresh.get(key)!r} in the fresh artifact — "
+                f"regenerate bench/baselines/")
+    fp_fresh = fresh.get("config", {}).get("fingerprint")
+    fp_base = baseline.get("config", {}).get("fingerprint")
+    if fp_fresh != fp_base:
+        errors.append(
+            f"stale baseline: config fingerprint {fp_base!r} != fresh "
+            f"{fp_fresh!r} — the bench configuration changed, regenerate "
+            f"bench/baselines/")
+    if errors:
+        return errors  # value comparisons are meaningless across configs
+
+    # Deterministic section: exact match, deep.
+    if fresh.get("sim") != baseline.get("sim"):
+        for key, want in baseline.get("sim", {}).items():
+            got = fresh.get("sim", {}).get(key)
+            if got != want:
+                errors.append(
+                    f"sim.{key}: baseline {want!r}, fresh {got!r} "
+                    f"(deterministic counters must match exactly)")
+        for key in fresh.get("sim", {}):
+            if key not in baseline.get("sim", {}):
+                errors.append(f"sim.{key}: present in fresh artifact only")
+        if not errors:
+            errors.append("sim sections differ")
+
+    # Deterministic time series, when both sides have one.
+    if ("timeline" in fresh and "timeline" in baseline
+            and baseline["timeline"] is not None):
+        if fresh["timeline"] != baseline["timeline"]:
+            errors.append(
+                "timeline section differs from the baseline "
+                "(deterministic series must match exactly)")
+
+    # Host sections: banded.
+    base_arms = {a.get("name"): a
+                 for a in baseline.get("overhead", {}).get("arms", [])
+                 if isinstance(a, dict)}
+    fresh_arms = {a.get("name"): a
+                  for a in fresh.get("overhead", {}).get("arms", [])
+                  if isinstance(a, dict)}
+    for name, base in base_arms.items():
+        arm = fresh_arms.get(name)
+        if arm is None:
+            errors.append(f"overhead: arm {name!r} missing from fresh artifact")
+            continue
+        b_eps, f_eps = base.get("events_per_sec"), arm.get("events_per_sec")
+        if _number(b_eps) and _number(f_eps) and b_eps > 0:
+            floor = b_eps * (1.0 - events_tolerance)
+            if f_eps < floor:
+                errors.append(
+                    f"overhead.{name}.events_per_sec regressed: {f_eps:.0f} "
+                    f"< {floor:.0f} (baseline {b_eps:.0f}, tolerance "
+                    f"{events_tolerance})")
+        b_rss, f_rss = base.get("peak_rss_bytes"), arm.get("peak_rss_bytes")
+        if _number(b_rss) and _number(f_rss) and b_rss > 0:
+            ceil = b_rss * (1.0 + rss_tolerance)
+            if f_rss > ceil:
+                errors.append(
+                    f"overhead.{name}.peak_rss_bytes regressed: {f_rss} > "
+                    f"{ceil:.0f} (baseline {b_rss}, tolerance "
+                    f"{rss_tolerance})")
+    return errors
+
+
+def default_baseline(fresh):
+    root = pathlib.Path(__file__).resolve().parents[1]
+    name = ("BENCH_engine_quick.json" if fresh.get("quick")
+            else "BENCH_engine.json")
+    return root / "bench" / "baselines" / name
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="compare BENCH_engine.json against a committed baseline")
+    ap.add_argument("fresh", help="freshly produced BENCH_engine.json")
+    ap.add_argument("--baseline", help="baseline artifact "
+                    "(default: bench/baselines/, picked by the quick flag)")
+    ap.add_argument("--events-tolerance", type=float,
+                    default=DEFAULT_EVENTS_TOLERANCE,
+                    help="max fractional events/sec drop (default %(default)s)")
+    ap.add_argument("--rss-tolerance", type=float,
+                    default=DEFAULT_RSS_TOLERANCE,
+                    help="max fractional peak-RSS growth (default %(default)s)")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        fresh = json.loads(pathlib.Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regress: cannot read {args.fresh}: {e}",
+              file=sys.stderr)
+        return 2
+    baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                     else default_baseline(fresh))
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regress: cannot read baseline {baseline_path}: "
+              f"{e}", file=sys.stderr)
+        return 2
+
+    errors = compare(fresh, baseline, args.events_tolerance,
+                     args.rss_tolerance)
+    for line in errors:
+        print(f"{args.fresh}: {line}", file=sys.stderr)
+    print(f"check_bench_regress: {args.fresh} vs {baseline_path}: "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

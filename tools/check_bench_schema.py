@@ -3,16 +3,23 @@
 
 Usage:  check_bench_schema.py FILE_OR_DIR [FILE_OR_DIR ...]
 
-Accepts both vmstorm-bench-v1 and vmstorm-bench-v2 artifacts. v2 adds the
+Accepts vmstorm-bench-v1, -v2, and -v3 artifacts. v2 adds the
 "attribution" key (critical-path analysis; null when tracing was off):
 each row's bucket values must come from the closed bucket enum and sum to
-the row's total seconds within 1e-6.
+the row's total seconds within 1e-6. v3 adds the "timeline" key (sampled
+time series; null when sampling was off): timestamps strictly increasing,
+every series exactly as long as the time axis, and — when the optional
+"phases" segmentation is present — regimes drawn from a closed enum with
+per-regime totals summing to the analyzed duration (the same closed-sum
+invariant the attribution rows obey).
 
 Also accepts vmstorm-engine-v1 (the bench_scale self-telemetry artifact):
 deterministic "sim" counters plus an "overhead" ablation with exactly the
 arms off/sampled/full, each tiling wall time into the closed phase enum.
 On full-mode artifacts (quick == false) the sampled arm's tracer time must
-be strictly below the full arm's — the point of sampling.
+be strictly below the full arm's — the point of sampling. An optional
+top-level "timeline" key (from the fourth, sampling-enabled run) is
+validated with the v3 timeline rules.
 
 Directories are scanned for BENCH_*.json. Exits non-zero and prints one
 line per violation if any artifact is malformed. Pure stdlib — no
@@ -22,8 +29,11 @@ import json
 import pathlib
 import sys
 
-SCHEMAS = ("vmstorm-bench-v1", "vmstorm-bench-v2")
+SCHEMAS = ("vmstorm-bench-v1", "vmstorm-bench-v2", "vmstorm-bench-v3")
 ENGINE_SCHEMA = "vmstorm-engine-v1"
+
+# Closed enum: obs::Regime names, in enum (= schema) order.
+REGIMES = ("idle", "repo_bound", "network_bound", "local_disk_bound")
 
 # Closed enum: the analyzer's CritBucket names, in emission order.
 BUCKETS = ("boot_init", "compute", "local_disk", "metadata",
@@ -117,6 +127,139 @@ def check_attribution(path, errors, attr):
         fail(path, errors, "attribution.summary must be an object")
 
 
+def check_phases(path, errors, where, phases, n_samples):
+    if tuple(phases.get("regimes", ())) != REGIMES:
+        fail(path, errors, f"{where}.regimes must be {list(REGIMES)}")
+    duration = phases.get("duration_seconds")
+    if not _nonneg(duration):
+        fail(path, errors,
+             f"{where}.duration_seconds must be a non-negative number")
+        duration = 0.0
+    tol = SUM_TOLERANCE * max(1.0, duration)
+
+    segments = phases.get("segments")
+    if not isinstance(segments, list):
+        fail(path, errors, f"{where}.segments must be an array")
+        segments = []
+    cursor = phases.get("start")
+    seg_sum = 0.0
+    for si, seg in enumerate(segments):
+        swhere = f"{where}.segments[{si}]"
+        if not isinstance(seg, dict):
+            fail(path, errors, f"{swhere} is not an object")
+            continue
+        if seg.get("regime") not in REGIMES:
+            fail(path, errors,
+                 f"{swhere}.regime {seg.get('regime')!r} not in closed "
+                 f"enum {list(REGIMES)}")
+        if not _number(seg.get("start")) or not _nonneg(seg.get("seconds")):
+            fail(path, errors, f"{swhere} needs numeric start/seconds")
+            continue
+        # Segments tile the window: each starts where the previous ended.
+        if _number(cursor) and abs(seg["start"] - cursor) > tol:
+            fail(path, errors,
+                 f"{swhere} starts at {seg['start']!r}, previous segment "
+                 f"ended at {cursor!r} (not contiguous)")
+        cursor = seg["start"] + seg["seconds"]
+        seg_sum += seg["seconds"]
+
+    totals = phases.get("totals")
+    if not isinstance(totals, dict):
+        fail(path, errors, f"{where}.totals must be an object")
+        totals = {}
+    if tuple(totals) != REGIMES:
+        fail(path, errors,
+             f"{where}.totals keys must be exactly {list(REGIMES)}")
+    totals_sum = sum(v for v in totals.values() if _nonneg(v))
+    # The closed-sum invariant: every sampled interval lands in exactly one
+    # regime, so both the totals and the segment lengths tile the duration.
+    if abs(totals_sum - duration) > tol:
+        fail(path, errors,
+             f"{where}.totals sum to {totals_sum!r}, duration_seconds is "
+             f"{duration!r}")
+    if segments and abs(seg_sum - duration) > tol:
+        fail(path, errors,
+             f"{where}.segments sum to {seg_sum!r}, duration_seconds is "
+             f"{duration!r}")
+    if phases.get("samples") != n_samples:
+        fail(path, errors,
+             f"{where}.samples is {phases.get('samples')!r}, timeline has "
+             f"{n_samples} samples")
+
+
+def check_timeline(path, errors, tl):
+    if tl is None:
+        return  # sampling was off for this artifact's capture run
+    if not isinstance(tl, dict):
+        return fail(path, errors, "timeline must be an object or null")
+    cadence = tl.get("cadence_seconds")
+    if not _number(cadence) or cadence <= 0:
+        fail(path, errors, "timeline.cadence_seconds must be > 0")
+        cadence = 0.0
+    for key in ("samples", "samples_taken", "dropped_samples"):
+        if not _nonneg(tl.get(key)):
+            fail(path, errors,
+                 f"timeline.{key} must be a non-negative number")
+    time = tl.get("time")
+    if not isinstance(time, list):
+        return fail(path, errors, "timeline.time must be an array")
+    n = len(time)
+    if _nonneg(tl.get("samples")) and tl["samples"] != n:
+        fail(path, errors,
+             f"timeline.samples is {tl['samples']!r} but time has {n} "
+             f"entries")
+    if (_nonneg(tl.get("samples_taken"))
+            and _nonneg(tl.get("dropped_samples"))
+            and tl["samples_taken"] - tl["dropped_samples"] != n):
+        fail(path, errors,
+             "timeline.samples_taken - dropped_samples must equal the "
+             "retained sample count")
+    for i, t in enumerate(time):
+        if not _number(t):
+            fail(path, errors, f"timeline.time[{i}] is not a number")
+        elif i > 0 and _number(time[i - 1]) and t <= time[i - 1]:
+            fail(path, errors,
+                 f"timeline.time[{i}] = {t!r} not strictly after "
+                 f"time[{i - 1}] = {time[i - 1]!r}")
+    # A ring that never wrapped sampled on a fixed grid: the window span
+    # must match (samples - 1) whole cadence steps.
+    if (n > 0 and cadence > 0 and tl.get("dropped_samples") == 0
+            and all(_number(t) for t in time)):
+        span = time[-1] - time[0]
+        want = (n - 1) * cadence
+        if abs(span - want) > SUM_TOLERANCE * max(1.0, want):
+            fail(path, errors,
+                 f"timeline window spans {span!r}s, want (samples-1)*cadence"
+                 f" = {want!r}s (no samples were dropped)")
+    series = tl.get("series")
+    if not isinstance(series, list) or not series:
+        fail(path, errors, "timeline.series must be a non-empty array")
+        series = []
+    for si, s in enumerate(series):
+        swhere = f"timeline.series[{si}]"
+        if not isinstance(s, dict) or not s.get("name"):
+            fail(path, errors, f"{swhere} missing name")
+            continue
+        if not isinstance(s.get("labels"), dict):
+            fail(path, errors, f"{swhere}.labels must be an object")
+        values = s.get("values")
+        if not isinstance(values, list) or len(values) != n:
+            fail(path, errors,
+                 f"{swhere}.values must have exactly {n} entries "
+                 f"(one per sample)")
+            continue
+        for vi, v in enumerate(values):
+            if not _number(v):
+                fail(path, errors, f"{swhere}.values[{vi}] is not a number")
+                break
+    if "phases" in tl:
+        phases = tl["phases"]
+        if not isinstance(phases, dict):
+            fail(path, errors, "timeline.phases must be an object")
+        else:
+            check_phases(path, errors, "timeline.phases", phases, n)
+
+
 def _number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
@@ -205,6 +348,10 @@ def check_engine_report(path, errors, doc):
             fail(path, errors,
                  f"sampled arm tracer time ({tracer_secs['sampled']!r}s) not "
                  f"strictly below full arm ({tracer_secs['full']!r}s)")
+    # Optional: the fourth (sampling-enabled) run's time series. Absent on
+    # artifacts from builds that predate the timeline.
+    if "timeline" in doc:
+        check_timeline(path, errors, doc["timeline"])
 
 
 def check_report(path, errors, doc):
@@ -263,12 +410,19 @@ def check_report(path, errors, doc):
     else:
         check_metrics(path, errors, doc["metrics"])
 
-    if schema == "vmstorm-bench-v2":
+    if schema in ("vmstorm-bench-v2", "vmstorm-bench-v3"):
         if "attribution" not in doc:
             fail(path, errors,
                  "'attribution' key missing (may be null, not absent)")
         else:
             check_attribution(path, errors, doc["attribution"])
+
+    if schema == "vmstorm-bench-v3":
+        if "timeline" not in doc:
+            fail(path, errors,
+                 "'timeline' key missing (may be null, not absent)")
+        else:
+            check_timeline(path, errors, doc["timeline"])
 
 
 def collect(args):
