@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/scale_workload.hpp"
 #include "obs/selfprof.hpp"
 #include "obs/timeline.hpp"
 #include "util/bench_util.hpp"
@@ -56,28 +57,6 @@ struct ArmResult {
   std::uint64_t trace_dropped_sampling = 0;
   std::uint64_t trace_dropped_stray_end = 0;
 };
-
-cloud::CloudConfig scale_config(std::size_t nodes) {
-  // Small per-instance image so the full run is event-bound, not
-  // byte-bound: the point is engine throughput, not transfer modeling.
-  cloud::CloudConfig cfg;
-  cfg.compute_nodes = nodes;
-  cfg.image_size = 32_MiB;
-  cfg.chunk_size = 256_KiB;
-  cfg.qcow_cluster_size = 64_KiB;
-  cfg.broadcast.chunk_size = 1_MiB;
-  cfg.seed = 2011;
-  return cfg;
-}
-
-vm::BootTraceParams scale_trace() {
-  vm::BootTraceParams p;
-  p.image_size = 32_MiB;
-  p.read_volume = 2_MiB;
-  p.write_volume = 256_KiB;
-  p.cpu_seconds = 1.0;
-  return p;
-}
 
 /// sample_rate < 0: tracing off. 1.0: full. (0,1): sampled.
 Result<ArmResult> run_arm(const std::string& name,
@@ -179,9 +158,10 @@ void write_phases(obs::JsonWriter& w, const obs::SelfProfiler& prof) {
 
 int run() {
   const bool quick = bench::quick_mode();
-  const std::size_t n = quick ? 256 : 10240;
-  const cloud::CloudConfig cfg = scale_config(n);
-  const vm::BootTraceParams tp = scale_trace();
+  const std::size_t n =
+      quick ? cloud::kScaleQuickNodes : cloud::kScaleFullNodes;
+  const cloud::CloudConfig cfg = cloud::scale_config(n);
+  const vm::BootTraceParams tp = cloud::scale_trace();
 
   bench::print_header("Engine scale",
                       "events/sec and observability overhead at " +

@@ -44,9 +44,9 @@ class Auditor {
   virtual ~Auditor() = default;
 
   /// A WaitRecord-guarded wakeup was enqueued as event `seq`
-  /// (sim/causal.hpp wake_waiter, Engine sleep suspension).
-  virtual void on_wakeup_scheduled(std::uint64_t seq,
-                                   std::shared_ptr<const WaitRecord> rec) {
+  /// (sim/causal.hpp wake_waiter, Engine sleep suspension). The WaitRef
+  /// pins the pooled record (and its generation) until dispatch.
+  virtual void on_wakeup_scheduled(std::uint64_t seq, WaitRef rec) {
     (void)seq;
     (void)rec;
   }
@@ -87,8 +87,7 @@ class InvariantAuditor final : public Auditor {
   /// survive); violations_total() keeps the true count.
   static constexpr std::size_t kMaxViolations = 64;
 
-  void on_wakeup_scheduled(std::uint64_t seq,
-                           std::shared_ptr<const WaitRecord> rec) override {
+  void on_wakeup_scheduled(std::uint64_t seq, WaitRef rec) override {
     // Open-addressed slot pool: steady-state inserts touch existing slots
     // only, so the auditor adds no per-event allocation on the engine's hot
     // path (growth uses the sanctioned construct+move+swap idiom).
@@ -111,7 +110,7 @@ class InvariantAuditor final : public Auditor {
            "ns");
     }
     last_time_ = time;
-    std::shared_ptr<const WaitRecord> rec;
+    WaitRef rec;
     if (!take(seq, rec)) return;  // plain event, no wait record to audit
     if (dropped) {
       ++dropped_wakeups_;
@@ -148,7 +147,7 @@ class InvariantAuditor final : public Auditor {
     static constexpr std::uint8_t kTombstone = 2;
     std::uint64_t seq = 0;
     std::uint8_t state = kEmpty;
-    std::shared_ptr<const WaitRecord> rec;
+    WaitRef rec;
   };
 
   /// splitmix64 finalizer — sequence numbers are consecutive, so identity
@@ -180,14 +179,14 @@ class InvariantAuditor final : public Auditor {
 
   /// Removes seq's record into `out`; leaves a tombstone so later probe
   /// chains stay intact. False when seq was never a guarded wakeup.
-  bool take(std::uint64_t seq, std::shared_ptr<const WaitRecord>& out) {
+  bool take(std::uint64_t seq, WaitRef& out) {
     if (slots_.empty()) return false;
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = hash(seq) & mask;
     while (slots_[i].state != PendingSlot::kEmpty) {
       if (slots_[i].state == PendingSlot::kUsed && slots_[i].seq == seq) {
         out = std::move(slots_[i].rec);
-        slots_[i].rec = nullptr;
+        slots_[i].rec.reset();
         slots_[i].state = PendingSlot::kTombstone;
         --pending_count_;
         return true;

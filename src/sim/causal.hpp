@@ -28,25 +28,18 @@ inline obs::Tracer* live_tracer(const Engine& engine) {
   return (rec != nullptr && rec->trace.enabled()) ? &rec->trace : nullptr;
 }
 
-/// Creates a wait record for handle `h`, capturing the suspending
+/// Creates a pooled wait record for handle `h`, capturing the suspending
 /// coroutine's span context and the time it blocked.
-inline std::shared_ptr<WaitRecord> make_wait_record(Engine& engine,
-                                                    std::coroutine_handle<> h) {
-  // vmlint:allow(hot-path-alloc) one shared WaitRecord per wait; the
-  // ROADMAP pooled-WaitRecord refactor is measured by deleting this escape.
-  auto rec = std::make_shared<WaitRecord>();
-  engine.track_wait_record(*rec);
-  rec->handle = h;
-  rec->span = engine.current_span();
-  rec->wait_since = engine.now_seconds();
-  return rec;
+inline WaitRef make_wait_record(Engine& engine, std::coroutine_handle<> h) {
+  return engine.wait_pool().make(h, engine.current_span(),
+                                 engine.now_seconds());
 }
 
 /// Marks `rec` as released by the current span and schedules its wakeup,
 /// restoring the waiter's own span context. Emits the 's' half of a Chrome
 /// flow arrow when the releaser belongs to a different span (a genuine
 /// cross-coroutine handoff).
-inline void wake_waiter(Engine& engine, const std::shared_ptr<WaitRecord>& rec) {
+inline void wake_waiter(Engine& engine, const WaitRef& rec) {
   rec->waker_span = engine.current_span();
   if (obs::Tracer* tr = live_tracer(engine)) {
     if (rec->waker_span != rec->span) {

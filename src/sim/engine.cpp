@@ -49,7 +49,7 @@ Task<void> JoinHandle::join(Engine& engine) {
   struct JoinAwaiter {
     Engine* engine;
     JoinState* state;
-    std::shared_ptr<WaitRecord> rec;
+    WaitRef rec;
     JoinAwaiter(Engine* e, JoinState* s) : engine(e), state(s) {}
     JoinAwaiter(const JoinAwaiter&) = delete;
     JoinAwaiter& operator=(const JoinAwaiter&) = delete;
@@ -62,7 +62,7 @@ Task<void> JoinHandle::join(Engine& engine) {
     void await_suspend(std::coroutine_handle<> h) {
       rec = make_wait_record(*engine, h);
       // vmlint:allow(hot-path-alloc) join waiter lists are short-lived and
-      // few; covered by the pooled-WaitRecord refactor, not worth a ring.
+      // few; not worth an intrusive list.
       state->waiters.push_back(rec);
     }
     void await_resume() noexcept {
@@ -77,14 +77,11 @@ Task<void> JoinHandle::join(Engine& engine) {
 }
 
 std::uint64_t Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
-                                  std::shared_ptr<const bool> alive,
-                                  std::uint64_t span) {
+                                  WaitGuard alive, std::uint64_t span) {
   assert(t >= now_ && "cannot schedule in the past");
   if (span == kInheritSpan) span = current_span_;
   const std::uint64_t seq = next_seq_++;
-  // vmlint:allow(hot-path-alloc) binary-heap growth on the event spine; the
-  // ROADMAP calendar-queue refactor replaces this queue and its escape.
-  queue_.push(Event{t, seq, h, std::move(alive), span});
+  queue_.enqueue(QueuedEvent{t, seq, h, span, std::move(alive)});
   if (queue_.size() > queue_depth_hw_) queue_depth_hw_ = queue_.size();
   return seq;
 }
@@ -93,13 +90,7 @@ std::uint64_t Engine::schedule_at(SimTime t, std::coroutine_handle<> h,
 // sleeping span is doing its own (simulated) work, so emitting a wait edge
 // here would bill compute phases as waits and skew critical-path attribution.
 void Engine::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
-  // vmlint:allow(hot-path-alloc) one WaitRecord per sleep; deleted by the
-  // ROADMAP pooled-WaitRecord refactor together with causal.hpp's escape.
-  rec = std::make_shared<WaitRecord>();
-  engine->track_wait_record(*rec);
-  rec->handle = h;
-  rec->span = engine->current_span();
-  rec->wait_since = engine->now_seconds();
+  rec = make_wait_record(*engine, h);
   const std::uint64_t seq =
       engine->schedule_at(wake_at, h, alive_guard(rec));
   if (Auditor* a = engine->auditor()) a->on_wakeup_scheduled(seq, rec);
@@ -134,8 +125,8 @@ std::uint64_t Engine::run(SimTime until) {
   bool until_reached = false;
   while (!queue_.empty()) {
     double t0 = prof != nullptr ? obs::SelfProfiler::wall_now() : 0.0;
-    Event ev = queue_.top();
-    if (until >= 0 && ev.time > until) {
+    const QueuedEvent* head = queue_.peek();
+    if (until >= 0 && head->time > until) {
       if (prof != nullptr) {
         prof->charge(obs::SelfProfiler::kQueueOps,
                      obs::SelfProfiler::wall_now() - t0);
@@ -144,13 +135,13 @@ std::uint64_t Engine::run(SimTime until) {
       until_reached = true;
       break;
     }
-    queue_.pop();
+    QueuedEvent ev = queue_.dequeue();
     if (prof != nullptr) {
       prof->charge(obs::SelfProfiler::kQueueOps,
                    obs::SelfProfiler::wall_now() - t0);
     }
     assert(ev.time >= now_);
-    if (ev.alive && !*ev.alive) {
+    if (!ev.guard.unconditional() && !ev.guard.valid()) {
       // The waiter was destroyed after this wakeup was queued; resuming the
       // handle would be a use-after-free. Drop the event without advancing
       // simulated time past it (time still moves to ev.time for ordering).

@@ -14,11 +14,12 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "sim/wait_pool.hpp"
 
 namespace vmstorm::obs {
 struct Recorder;
@@ -30,46 +31,11 @@ namespace vmstorm::sim {
 class Auditor;
 class Engine;
 
-/// Liveness record for a suspended waiter. Waiter lists (Event, Semaphore,
-/// Channel, JoinState, storage::Disk) store these instead of raw coroutine
-/// handles so a coroutine destroyed while suspended is never resumed: the
-/// awaiter's destructor flips `alive`, the wake path skips dead records, and
-/// the engine re-checks the guard before resuming an already-queued wakeup.
-struct WaitRecord {
-  std::coroutine_handle<> handle{};
-  bool alive = true;    ///< false once the waiting coroutine frame is gone
-  bool resumed = false; ///< set by await_resume: the wakeup was delivered
-  bool granted = false; ///< a permit/item was handed over with the wakeup
-  std::uint64_t span = 0;        ///< waiter's span context, restored on wake
-  std::uint64_t waker_span = 0;  ///< span that released us (wait-edge holder)
-  std::uint64_t flow = 0;        ///< open Chrome flow arrow id (0 = none)
-  double wait_since = 0;         ///< simulated seconds at suspension
-  /// Engine's live-record gauge, decremented on destruction (see
-  /// Engine::track_wait_record). The engine outlives every component that
-  /// can hold a record, so the pointer cannot dangle.
-  std::uint64_t* live_counter = nullptr;
-
-  WaitRecord() = default;
-  WaitRecord(const WaitRecord&) = delete;
-  WaitRecord& operator=(const WaitRecord&) = delete;
-  ~WaitRecord() {
-    if (live_counter != nullptr) --*live_counter;
-  }
-};
-
-/// Aliasing guard into a WaitRecord's `alive` flag, suitable for passing to
-/// Engine::schedule_at/schedule_after. Keeps the record itself alive until
-/// the queued wakeup is consumed or skipped.
-inline std::shared_ptr<const bool> alive_guard(
-    const std::shared_ptr<WaitRecord>& rec) {
-  return {rec, &rec->alive};
-}
-
 /// Shared completion state of a spawned task.
 struct JoinState {
   bool done = false;
   std::exception_ptr exception;
-  std::vector<std::shared_ptr<WaitRecord>> waiters;
+  std::vector<WaitRef> waiters;
 };
 
 /// Handle returned by Engine::spawn. Join with `co_await handle.join(engine)`
@@ -115,18 +81,18 @@ class Engine {
 
   /// Enqueues a coroutine resumption at absolute time t (>= now). The
   /// optional `alive` guard is re-checked just before resumption; a wakeup
-  /// whose guard reads false is dropped (the waiter was destroyed while the
-  /// wakeup was in flight). Wakeups for suspended waiters held in shared
-  /// lists must pass a guard — see WaitRecord / alive_guard. `span` is the
-  /// span context restored when the event fires; the default inherits the
-  /// span current at schedule time. Returns the queued event's sequence
-  /// number (unique per engine), which audit hooks use to tie a scheduled
-  /// wakeup to its dispatch.
+  /// whose guard reads dead (or generation-stale) is dropped — the waiter
+  /// was destroyed while the wakeup was in flight. Wakeups for suspended
+  /// waiters held in shared lists must pass a guard — see WaitRecord /
+  /// alive_guard in sim/wait_pool.hpp. `span` is the span context restored
+  /// when the event fires; the default inherits the span current at schedule
+  /// time. Returns the queued event's sequence number (unique per engine),
+  /// which audit hooks use to tie a scheduled wakeup to its dispatch.
   std::uint64_t schedule_at(SimTime t, std::coroutine_handle<> h,
-                            std::shared_ptr<const bool> alive = {},
+                            WaitGuard alive = {},
                             std::uint64_t span = kInheritSpan);
   std::uint64_t schedule_after(SimTime dt, std::coroutine_handle<> h,
-                               std::shared_ptr<const bool> alive = {},
+                               WaitGuard alive = {},
                                std::uint64_t span = kInheritSpan) {
     return schedule_at(now_ + dt, h, std::move(alive), span);
   }
@@ -164,24 +130,17 @@ class Engine {
   /// High-water mark of the event heap's depth.
   std::size_t queue_depth_high_water() const { return queue_depth_hw_; }
 
-  std::uint64_t wait_records_created() const { return wait_records_created_; }
-  std::uint64_t wait_records_live() const { return wait_records_live_; }
+  std::uint64_t wait_records_created() const { return wait_pool_.created(); }
+  std::uint64_t wait_records_live() const { return wait_pool_.live(); }
   std::uint64_t wait_records_live_high_water() const {
-    return wait_records_live_hw_;
+    return wait_pool_.live_high_water();
   }
 
-  /// Registers a freshly made WaitRecord with the live-record gauge: counts
-  /// it and points its destructor back at the counter. Called by the two
-  /// record construction sites (sim/causal.hpp make_wait_record, the sleep
-  /// awaiter).
-  void track_wait_record(WaitRecord& rec) {
-    ++wait_records_created_;
-    ++wait_records_live_;
-    if (wait_records_live_ > wait_records_live_hw_) {
-      wait_records_live_hw_ = wait_records_live_;
-    }
-    rec.live_counter = &wait_records_live_;
-  }
+  /// The engine's wait-record pool. All record construction goes through
+  /// here (sim/causal.hpp make_wait_record, the sleep awaiter); the pool
+  /// also carries the wait-record telemetry the getters above export.
+  WaitPool& wait_pool() { return wait_pool_; }
+  const WaitPool& wait_pool() const { return wait_pool_; }
 
   /// Host-side self-profiling attachment point (obs/selfprof.hpp). Null
   /// (the default) keeps the run loop free of wall-clock reads; attached,
@@ -209,7 +168,7 @@ class Engine {
   struct SleepAwaiter {
     Engine* engine;
     SimTime wake_at;
-    std::shared_ptr<WaitRecord> rec{};
+    WaitRef rec{};
     SleepAwaiter(Engine* e, SimTime t) : engine(e), wake_at(t) {}
     SleepAwaiter(const SleepAwaiter&) = delete;
     SleepAwaiter& operator=(const SleepAwaiter&) = delete;
@@ -223,18 +182,6 @@ class Engine {
     }
   };
 
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-    std::shared_ptr<const bool> alive;  // empty = unconditional resumption
-    std::uint64_t span = 0;             // span context restored on resume
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
-  };
-
   friend class JoinHandle;
 
   SimTime now_ = 0;
@@ -244,16 +191,14 @@ class Engine {
   std::uint64_t cancelled_wakeups_ = 0;
   std::size_t live_tasks_ = 0;
   std::size_t queue_depth_hw_ = 0;
-  std::uint64_t wait_records_created_ = 0;
-  // Declared before queue_: records guarded by queued events decrement this
-  // from ~Event during ~queue_, so it must still be alive then.
-  std::uint64_t wait_records_live_ = 0;
-  std::uint64_t wait_records_live_hw_ = 0;
   int run_depth_ = 0;  ///< only the outermost run() accumulates profile time
   obs::Recorder* recorder_ = nullptr;
   Auditor* auditor_ = nullptr;
   obs::SelfProfiler* profiler_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Declared before queue_: guards held by still-queued events release their
+  // pool references during ~queue_, so the pool must outlive the queue.
+  WaitPool wait_pool_;
+  CalendarQueue queue_;
 };
 
 }  // namespace vmstorm::sim

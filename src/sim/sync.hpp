@@ -6,8 +6,8 @@
 // simulated time rather than resumed inline, keeping execution order
 // deterministic and re-entrancy-free.
 //
-// Cancellation safety: waiter lists hold WaitRecord entries, not raw
-// coroutine handles. If a waiting coroutine is destroyed while suspended
+// Cancellation safety: waiter lists hold pooled WaitRecord handles (WaitRef,
+// sim/wait_pool.hpp), not raw coroutine handles. If a waiting coroutine is destroyed while suspended
 // (its Task dropped mid-wait), the awaiter's destructor marks the record
 // dead; wake paths skip dead records and the engine drops already-queued
 // wakeups whose guard went dead. A Semaphore permit or Channel item that was
@@ -34,11 +34,11 @@ namespace detail {
 /// Creates a registered wait record for handle `h` at the back of `list`,
 /// capturing the suspending coroutine's span context and block time.
 template <typename List>
-inline std::shared_ptr<WaitRecord> enlist_waiter(List& list, Engine& engine,
-                                                 std::coroutine_handle<> h) {
-  auto rec = make_wait_record(engine, h);
+inline WaitRef enlist_waiter(List& list, Engine& engine,
+                             std::coroutine_handle<> h) {
+  WaitRef rec = make_wait_record(engine, h);
   // vmlint:allow(hot-path-alloc) waiter-list growth, one slot per blocked
-  // coroutine; intrusive pooled WaitRecords (ROADMAP) remove this escape.
+  // coroutine; an intrusive through-the-pool list is the escape's exit path.
   list.push_back(rec);
   return rec;
 }
@@ -76,7 +76,7 @@ class Event {
   auto wait() {
     struct Awaiter {
       Event* ev;
-      std::shared_ptr<WaitRecord> rec;
+      WaitRef rec;
       explicit Awaiter(Event* e) : ev(e) {}
       Awaiter(const Awaiter&) = delete;
       Awaiter& operator=(const Awaiter&) = delete;
@@ -102,7 +102,7 @@ class Event {
   Engine* engine_;
   const char* trace_name_;
   bool set_ = false;
-  std::vector<std::shared_ptr<WaitRecord>> waiters_;
+  std::vector<WaitRef> waiters_;
 };
 
 /// Counting semaphore with FIFO wakeup order. A waiter destroyed while
@@ -117,7 +117,7 @@ class Semaphore {
   auto acquire() {
     struct Awaiter {
       Semaphore* sem;
-      std::shared_ptr<WaitRecord> rec;
+      WaitRef rec;
       explicit Awaiter(Semaphore* s) : sem(s) {}
       Awaiter(const Awaiter&) = delete;
       Awaiter& operator=(const Awaiter&) = delete;
@@ -148,7 +148,7 @@ class Semaphore {
 
   void release() {
     while (!waiters_.empty()) {
-      auto rec = std::move(waiters_.front());
+      WaitRef rec = std::move(waiters_.front());
       waiters_.pop_front();
       if (!rec->alive) continue;  // waiter abandoned while queued
       // The permit is handed directly to the woken waiter.
@@ -166,7 +166,7 @@ class Semaphore {
   Engine* engine_;
   const char* trace_name_;
   std::size_t count_;
-  std::deque<std::shared_ptr<WaitRecord>> waiters_;
+  std::deque<WaitRef> waiters_;
 };
 
 /// Unbounded single-direction channel of T. Multiple producers, multiple
@@ -188,7 +188,7 @@ class Channel {
   Task<T> pop() {
     struct Awaiter {
       Channel* ch;
-      std::shared_ptr<WaitRecord> rec;
+      WaitRef rec;
       explicit Awaiter(Channel* c) : ch(c) {}
       Awaiter(const Awaiter&) = delete;
       Awaiter& operator=(const Awaiter&) = delete;
@@ -221,7 +221,7 @@ class Channel {
  private:
   void wake_one() {
     while (!waiters_.empty()) {
-      auto rec = std::move(waiters_.front());
+      WaitRef rec = std::move(waiters_.front());
       waiters_.pop_front();
       if (!rec->alive) continue;
       rec->granted = true;
@@ -233,7 +233,7 @@ class Channel {
   Engine* engine_;
   const char* trace_name_;
   std::deque<T> items_;
-  std::deque<std::shared_ptr<WaitRecord>> waiters_;
+  std::deque<WaitRef> waiters_;
 };
 
 /// Spawns all tasks and waits for every one to finish. Exceptions from

@@ -56,7 +56,7 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
   struct Admission {
     Disk* disk;
     Bytes need;
-    std::shared_ptr<sim::WaitRecord> rec;
+    sim::WaitRef rec;
     Admission(Disk* d, Bytes n) : disk(d), need(n) {}
     Admission(const Admission&) = delete;
     Admission& operator=(const Admission&) = delete;
@@ -68,10 +68,10 @@ sim::Task<void> Disk::write_async(Bytes bytes, std::uint64_t cache_key) {
              disk->dirty_bytes_ + need <= disk->cfg_.dirty_limit;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      auto r = sim::make_wait_record(*disk->engine_, h);
+      sim::WaitRef r = sim::make_wait_record(*disk->engine_, h);
       rec = r;
       // vmlint:allow(hot-path-alloc) admission queue growth is bounded by
-      // writers-in-flight; pooled WaitRecords (ROADMAP) absorb this too.
+      // writers-in-flight; intrusive pool lists are the exit path.
       disk->dirty_waiters_.push_back({need, std::move(r)});
     }
     void await_resume() noexcept {
@@ -126,7 +126,7 @@ void Disk::wake_dirty_waiters() {
 sim::Task<void> Disk::flush() {
   struct FlushAwaiter {
     Disk* disk;
-    std::shared_ptr<sim::WaitRecord> rec;
+    sim::WaitRef rec;
     explicit FlushAwaiter(Disk* d) : disk(d) {}
     FlushAwaiter(const FlushAwaiter&) = delete;
     FlushAwaiter& operator=(const FlushAwaiter&) = delete;
@@ -137,7 +137,7 @@ sim::Task<void> Disk::flush() {
     void await_suspend(std::coroutine_handle<> h) {
       rec = sim::make_wait_record(*disk->engine_, h);
       // vmlint:allow(hot-path-alloc) flush waiters are rare (one per
-      // explicit flush); pooled WaitRecords (ROADMAP) absorb this too.
+      // explicit flush); intrusive pool lists are the exit path.
       disk->flush_waiters_.push_back(rec);
     }
     void await_resume() noexcept {

@@ -96,7 +96,7 @@ class Disk {
 
   struct DirtyWaiter {
     Bytes need;
-    std::shared_ptr<sim::WaitRecord> rec;
+    sim::WaitRef rec;
   };
 
   sim::Engine* engine_;
@@ -113,7 +113,7 @@ class Disk {
   Bytes dirty_bytes_ = 0;
   std::deque<DirtyWaiter> dirty_waiters_;
   std::uint64_t flushes_in_flight_ = 0;
-  std::vector<std::shared_ptr<sim::WaitRecord>> flush_waiters_;
+  std::vector<sim::WaitRef> flush_waiters_;
 
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -39,7 +40,8 @@ void save_artifact(std::uint64_t seed, const std::string& report) {
   out << report;
 }
 
-constexpr Mode kModes[] = {Mode::kFull, Mode::kSleepCancel, Mode::kChannelMix};
+constexpr Mode kModes[] = {Mode::kFull, Mode::kSleepCancel, Mode::kChannelMix,
+                           Mode::kQueueChurn};
 
 // ---- Always-on fixed seeds (run even with VMSTORM_FUZZ_MS=0) --------------
 
@@ -131,6 +133,34 @@ TEST(Fuzz, CancelledWakeupAccountingIsExact) {
   EXPECT_GT(total_cancelled, 0u);
 }
 
+// ---- Satellite: queue-churn mode drives the calendar queue -----------------
+
+// kQueueChurn spawns only sleep-shaped tasks (sleepers, chains, far
+// sleepers), so the kSleepCancel exactness contract carries over: engine
+// counter, auditor count, and harness bookkeeping must agree cancel for
+// cancel. The far sleepers additionally park wakeups seconds out — overflow
+// territory for the engine's calendar queue — so the final drain walks year
+// jumps and bucket resizes with cancelled frames' guards still in flight.
+TEST(Fuzz, QueueChurnAccountingIsExact) {
+  std::uint64_t total_cancelled = 0;
+  double latest_end = 0;
+  for (std::uint64_t seed = 900; seed < 940; ++seed) {
+    const Program prog = generate(seed, Mode::kQueueChurn);
+    const Outcome out = run_program(prog);
+    EXPECT_TRUE(out.violations.empty())
+        << "seed " << seed << ": " << out.violations.front();
+    EXPECT_EQ(out.cancelled_wakeups, out.expected_abandoned_sleeps)
+        << "seed " << seed;
+    EXPECT_EQ(out.cancelled_wakeups, out.dropped_wakeups) << "seed " << seed;
+    total_cancelled += out.cancelled_wakeups;
+    latest_end = std::max(latest_end, out.end_seconds);
+  }
+  EXPECT_GT(total_cancelled, 0u);
+  // Far sleepers must actually survive to the drain: quiescence lands
+  // seconds out, far beyond the calendar's ~16 ms initial year.
+  EXPECT_GT(latest_end, 1.0);
+}
+
 // ---- Satellite: channel conservation under close/abandon mixes -------------
 
 TEST(Fuzz, ChannelConservationUnderAbandonment) {
@@ -153,7 +183,8 @@ TEST(Fuzz, ChannelConservationUnderAbandonment) {
 
 TEST(InvariantAuditor, DetectsDeadWaiterResumption) {
   sim::InvariantAuditor auditor;
-  auto rec = std::make_shared<sim::WaitRecord>();
+  sim::WaitPool pool;
+  sim::WaitRef rec = pool.make({}, 0, 0.0);
   auditor.on_wakeup_scheduled(17, rec);
   rec->alive = false;  // waiter destroyed while the wakeup is in flight
   EXPECT_THROW(auditor.on_event(17, sim::from_micros(5), /*dropped=*/false),
@@ -163,7 +194,8 @@ TEST(InvariantAuditor, DetectsDeadWaiterResumption) {
 
 TEST(InvariantAuditor, DetectsLiveWaiterDrop) {
   sim::InvariantAuditor auditor;
-  auto rec = std::make_shared<sim::WaitRecord>();
+  sim::WaitPool pool;
+  sim::WaitRef rec = pool.make({}, 0, 0.0);
   auditor.on_wakeup_scheduled(3, rec);
   EXPECT_THROW(auditor.on_event(3, 0, /*dropped=*/true),
                sim::InvariantViolation);
@@ -179,8 +211,9 @@ TEST(InvariantAuditor, DetectsNonMonotoneTime) {
 TEST(InvariantAuditor, TracksPendingAndDroppedCounts) {
   sim::InvariantAuditor auditor;
   auditor.fail_fast = false;
-  auto rec = std::make_shared<sim::WaitRecord>();
-  auto rec2 = std::make_shared<sim::WaitRecord>();
+  sim::WaitPool pool;
+  sim::WaitRef rec = pool.make({}, 0, 0.0);
+  sim::WaitRef rec2 = pool.make({}, 0, 0.0);
   auditor.on_wakeup_scheduled(1, rec);
   auditor.on_wakeup_scheduled(2, rec2);
   EXPECT_EQ(auditor.pending_wakeups(), 2u);
@@ -197,7 +230,8 @@ TEST(InvariantAuditor, TracksPendingAndDroppedCounts) {
 TEST(InvariantAuditor, FailFastOffCollectsInsteadOfThrowing) {
   sim::InvariantAuditor auditor;
   auditor.fail_fast = false;
-  auto rec = std::make_shared<sim::WaitRecord>();
+  sim::WaitPool pool;
+  sim::WaitRef rec = pool.make({}, 0, 0.0);
   auditor.on_wakeup_scheduled(9, rec);
   rec->alive = false;
   auditor.on_event(9, 0, /*dropped=*/false);  // no throw
@@ -217,8 +251,7 @@ TEST(InvariantAuditor, EngineFailsFastBeforeResumingDeadWaiter) {
   sim::Task<void> task = park_on(&never);
   auto h = task.release();
   h.resume();  // parks on the event's waiter list
-  auto rec = std::make_shared<sim::WaitRecord>();
-  rec->handle = h;
+  sim::WaitRef rec = engine.wait_pool().make(h, 0, 0.0);
   // Deliberately no alive guard: this models a buggy wake path.
   const std::uint64_t seq = engine.schedule_after(0, h);
   auditor.on_wakeup_scheduled(seq, rec);

@@ -46,6 +46,7 @@ const char* kind_name(OpKind k) {
     case OpKind::kDiskWrite: return "disk_write";
     case OpKind::kDiskFlush: return "disk_flush";
     case OpKind::kWaiter: return "waiter";
+    case OpKind::kFarSleeper: return "far_sleeper";
     case OpKind::kJoinTarget: return "join_target";
     case OpKind::kJoiner: return "joiner";
     case OpKind::kSetEvent: return "set_event";
@@ -68,6 +69,7 @@ const char* kind_enum(OpKind k) {
     case OpKind::kDiskWrite: return "kDiskWrite";
     case OpKind::kDiskFlush: return "kDiskFlush";
     case OpKind::kWaiter: return "kWaiter";
+    case OpKind::kFarSleeper: return "kFarSleeper";
     case OpKind::kJoinTarget: return "kJoinTarget";
     case OpKind::kJoiner: return "kJoiner";
     case OpKind::kSetEvent: return "kSetEvent";
@@ -83,6 +85,7 @@ const char* mode_name(Mode m) {
     case Mode::kFull: return "full";
     case Mode::kSleepCancel: return "sleep_cancel";
     case Mode::kChannelMix: return "channel_mix";
+    case Mode::kQueueChurn: return "queue_churn";
   }
   return "?";
 }
@@ -284,6 +287,12 @@ sim::Task<void> waiter_body(World* w, TaskState* st) {
   w->mark(st->index, "done");
 }
 
+sim::Task<void> far_sleeper_body(World* w, TaskState* st, std::uint32_t ms) {
+  co_await w->engine.sleep(sim::from_millis(static_cast<double>(ms)));
+  st->finished = true;
+  w->mark(st->index, "done");
+}
+
 sim::Task<void> join_target_body(World* w, TaskState* st,
                                  std::uint32_t sleep_us) {
   co_await w->engine.sleep(sim::from_micros(sleep_us));
@@ -351,6 +360,11 @@ void World::exec(const Op& op) {
       st->handle = start(waiter_body(this, st));
       break;
     }
+    case OpKind::kFarSleeper: {
+      TaskState* st = new_task(op.kind, true);
+      st->handle = start(far_sleeper_body(this, st, op.a % 30001));
+      break;
+    }
     case OpKind::kJoinTarget: {
       TaskState* st = new_task(op.kind, false);
       st->join = engine.spawn(join_target_body(this, st, op.a % 2001));
@@ -376,9 +390,11 @@ void World::exec(const Op& op) {
       if (op.a >= tasks.size()) break;
       TaskState* t = tasks[op.a].get();
       if (!t->cancellable || t->finished || t->destroyed) break;
-      // An unfinished sleeper/chain is necessarily suspended on an engine
-      // sleep with its wakeup queued; destroying it abandons exactly one.
-      if (t->kind == OpKind::kSleeper || t->kind == OpKind::kChain) {
+      // An unfinished sleeper/chain/far-sleeper is necessarily suspended on
+      // an engine sleep with its wakeup queued; destroying it abandons
+      // exactly one.
+      if (t->kind == OpKind::kSleeper || t->kind == OpKind::kChain ||
+          t->kind == OpKind::kFarSleeper) {
         ++expected_abandoned_sleeps;
       }
       if (t->holds_permit) ++leaked_permits;
@@ -523,6 +539,10 @@ Program generate(std::uint64_t seed, Mode mode) {
       {OpKind::kProducer, 22}, {OpKind::kConsumer, 20}, {OpKind::kPush, 10},
       {OpKind::kCancel, 24},   {OpKind::kAdvance, 24},
   };
+  static constexpr Choice kChurnTable[] = {
+      {OpKind::kSleeper, 26}, {OpKind::kChain, 8}, {OpKind::kFarSleeper, 12},
+      {OpKind::kCancel, 30},  {OpKind::kAdvance, 24},
+  };
   const Choice* table = kFullTable;
   std::size_t table_n = std::size(kFullTable);
   if (mode == Mode::kSleepCancel) {
@@ -531,6 +551,9 @@ Program generate(std::uint64_t seed, Mode mode) {
   } else if (mode == Mode::kChannelMix) {
     table = kChannelTable;
     table_n = std::size(kChannelTable);
+  } else if (mode == Mode::kQueueChurn) {
+    table = kChurnTable;
+    table_n = std::size(kChurnTable);
   }
   std::uint32_t total_weight = 0;
   for (std::size_t i = 0; i < table_n; ++i) total_weight += table[i].weight;
@@ -553,7 +576,11 @@ Program generate(std::uint64_t seed, Mode mode) {
     Op op{kind, 0, 0};
     switch (kind) {
       case OpKind::kSleeper:
-        op.a = static_cast<std::uint32_t>(rng.uniform_u64(2501));
+        // Churn mode biases toward zero-length sleeps: every slice lands on
+        // the current tick, the queue's same-bucket FIFO fan-out case.
+        op.a = mode == Mode::kQueueChurn && rng.uniform_u64(100) < 40
+                   ? 0
+                   : static_cast<std::uint32_t>(rng.uniform_u64(2501));
         op.b = static_cast<std::uint32_t>(rng.uniform_u64(4));
         break;
       case OpKind::kChain:
@@ -582,6 +609,11 @@ Program generate(std::uint64_t seed, Mode mode) {
       case OpKind::kWaiter:
       case OpKind::kSetEvent:
       case OpKind::kPush:
+        break;
+      case OpKind::kFarSleeper:
+        // Milliseconds, up to 30 s: far beyond the calendar's initial year,
+        // so these ride the overflow list and drain through year jumps.
+        op.a = static_cast<std::uint32_t>(1 + rng.uniform_u64(30000));
         break;
       case OpKind::kJoinTarget:
         op.a = static_cast<std::uint32_t>(rng.uniform_u64(2001));

@@ -171,6 +171,28 @@ TEST(FuzzRegression, ShrunkSeed0x1ChannelMixGrantThenCancel) {
   EXPECT_EQ(out.cancelled_wakeups, 1u);  // the dropped (not resumed) grant
 }
 
+// Found by the queue_churn fuzz mode (seed 0x76d570a30001251f, ddmin from
+// 118 ops to these 11) on the calendar-queue engine: enqueue's cursor-rewind
+// path re-anchored the year with a bare cursor reset. The rewind target is
+// behind the cached minimum but can be AHEAD of the old year base — then
+// year_end_ grows and captures overflow events that never migrate into the
+// ring. Here the 17.6 s far sleeper stayed on the overflow list while the
+// 18.8 s one sat in the ring, the drain popped 18.8 s first, and the
+// auditor flagged non-monotone time. The rewind is now a full re-base
+// (migrating the overflow on year growth); this program must run clean.
+TEST(FuzzRegression, ShrunkQueueChurnForwardRewindStrandsOverflow) {
+  const Program prog = {
+      {OpKind::kSleeper, 0, 0},        {OpKind::kFarSleeper, 10595, 0},
+      {OpKind::kSleeper, 1969, 0},     {OpKind::kAdvance, 1553, 0},
+      {OpKind::kFarSleeper, 7015, 0},  {OpKind::kAdvance, 650, 0},
+      {OpKind::kFarSleeper, 18767, 0}, {OpKind::kChain, 0, 0},
+      {OpKind::kFarSleeper, 17628, 0}, {OpKind::kAdvance, 0, 0},
+      {OpKind::kFarSleeper, 3065, 0},
+  };
+  const Outcome out = run_program(prog);
+  EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
 // A cancellation storm over every primitive at once — the densest shrunk
 // shape the full mode produces. Replayed for determinism as well: two runs
 // must give byte-identical event logs.

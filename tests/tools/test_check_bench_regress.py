@@ -122,6 +122,57 @@ class RegressTest(unittest.TestCase):
         self.assertTrue(any("stale baseline" in e and "quick" in e
                             for e in errors))
 
+    def test_require_exact_sim_catches_drift_behind_stale_fingerprint(self):
+        # The hole the flag closes: a change that touches the bench config
+        # AND reorders events would otherwise only report "stale baseline",
+        # and a routine regenerate would silently bless the new ordering.
+        fresh = doc()
+        fresh["config"]["fingerprint"] = "fedcba9876543210"
+        fresh["sim"]["events_processed"] += 12345
+        errors = cbr.compare(fresh, doc(), require_exact_sim=True)
+        self.assertTrue(any("stale baseline" in e for e in errors))
+        self.assertTrue(any("sim.events_processed" in e for e in errors))
+        self.assertTrue(any("ordering change" in e for e in errors))
+
+    def test_require_exact_sim_checks_timeline_behind_stale_baseline(self):
+        fresh = doc()
+        fresh["quick"] = False
+        fresh["timeline"]["time"][1] = 0.75
+        errors = cbr.compare(fresh, doc(), require_exact_sim=True)
+        self.assertTrue(any("timeline" in e for e in errors))
+
+    def test_require_exact_sim_stale_but_identical_sim_is_stale_only(self):
+        # A pure host-band refresh (config changed, sim identical): the flag
+        # must add nothing beyond the stale-baseline message — in particular
+        # no banded overhead comparison against an incomparable config.
+        fresh = doc()
+        fresh["config"]["fingerprint"] = "fedcba9876543210"
+        fresh["overhead"]["arms"][0]["events_per_sec"] = 1.0
+        errors = cbr.compare(fresh, doc(), require_exact_sim=True)
+        self.assertTrue(errors)
+        self.assertTrue(all("stale baseline" in e for e in errors))
+
+    def test_require_exact_sim_unchanged_on_fresh_baseline(self):
+        self.assertEqual(cbr.compare(doc(), doc(), require_exact_sim=True),
+                         [])
+        fresh = doc()
+        fresh["sim"]["events_processed"] += 1
+        with_flag = cbr.compare(fresh, doc(), require_exact_sim=True)
+        without = cbr.compare(fresh, doc())
+        self.assertEqual(with_flag, without)
+
+    def test_require_exact_sim_flag_parses(self):
+        # The CI job passes the flag on the command line; make sure argparse
+        # accepts it (a typo here would fail every bench job).
+        import contextlib
+        import io
+        help_text = io.StringIO()
+        with contextlib.redirect_stdout(help_text):
+            with self.assertRaises(SystemExit) as ctx:
+                cbr.main(["check_bench_regress.py", "--help"])
+        self.assertEqual(ctx.exception.code, 0)
+        self.assertIn("--require-exact-sim", help_text.getvalue())
+
     def test_default_baseline_picked_by_quick_flag(self):
         quick = cbr.default_baseline({"quick": True})
         full = cbr.default_baseline({"quick": False})
